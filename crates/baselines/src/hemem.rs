@@ -1,0 +1,169 @@
+//! HeMem: fixed-threshold frequency hotness.
+
+use crate::{HotnessPolicy, IntervalOutcome, ResidencyTracker};
+use pipm_types::{HostId, PageNum, SchemeKind};
+use std::collections::HashMap;
+
+/// Frequency-threshold policy in the style of HeMem (SOSP '21): a page
+/// whose access count within one interval reaches the construction-time
+/// threshold is promoted; resident pages idle for
+/// [`IDLE_DEMOTE_INTERVALS`] intervals are demoted. Counters reset every
+/// interval (no decay memory, unlike Memtis).
+///
+/// [`IDLE_DEMOTE_INTERVALS`]: HememPolicy::IDLE_DEMOTE_INTERVALS
+#[derive(Clone, Debug)]
+pub struct HememPolicy {
+    tracker: ResidencyTracker,
+    threshold: u32,
+    budget: usize,
+    counters: Vec<HashMap<PageNum, u32>>,
+}
+
+impl HememPolicy {
+    /// Intervals a resident page may stay idle before demotion.
+    pub const IDLE_DEMOTE_INTERVALS: u64 = 4;
+    /// Default per-interval hot threshold (accesses).
+    pub const DEFAULT_THRESHOLD: u32 = 8;
+
+    /// Creates the policy with the given per-interval `threshold`.
+    pub fn new(hosts: usize, capacity_pages: usize, threshold: u32) -> Self {
+        HememPolicy {
+            tracker: ResidencyTracker::new(hosts, capacity_pages),
+            threshold,
+            budget: usize::MAX,
+            counters: vec![HashMap::new(); hosts],
+        }
+    }
+
+    /// Limits promotions per host per interval.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl HotnessPolicy for HememPolicy {
+    fn name(&self) -> &'static str {
+        "HeMem"
+    }
+
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::Hemem
+    }
+
+    fn record_access(
+        &mut self,
+        host: HostId,
+        page: PageNum,
+        _is_write: bool,
+        resident_at: Option<HostId>,
+    ) {
+        if resident_at == Some(host) {
+            self.tracker.touch(host, page);
+            return;
+        }
+        *self.counters[host.index()].entry(page).or_insert(0) += 1;
+    }
+
+    fn set_interval_budget(&mut self, pages: usize) {
+        self.budget = pages;
+    }
+
+    fn end_interval(&mut self) -> IntervalOutcome {
+        let mut out = IntervalOutcome::default();
+        for hi in 0..self.counters.len() {
+            let host = HostId::new(hi);
+            let mut cand: Vec<(PageNum, u32)> = self.counters[hi]
+                .iter()
+                .filter(|(_, &c)| c >= self.threshold)
+                .map(|(&p, &c)| (p, c))
+                .collect();
+            cand.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut promoted = 0;
+            for (page, _) in cand {
+                if promoted >= self.budget {
+                    break;
+                }
+                if self.tracker.is_resident(page) {
+                    continue;
+                }
+                for d in self.tracker.promote(host, page) {
+                    out.demotions.push(d);
+                }
+                out.promotions.push((page, host));
+                promoted += 1;
+            }
+            for page in self.tracker.idle_pages(host, Self::IDLE_DEMOTE_INTERVALS) {
+                self.tracker.demote(host, page);
+                out.demotions.push((page, host));
+            }
+            self.counters[hi].clear();
+        }
+        self.tracker.bump_interval();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn p(i: u64) -> PageNum {
+        PageNum::new(i)
+    }
+
+    #[test]
+    fn threshold_gates_promotion() {
+        let mut hm = HememPolicy::new(1, 100, 8);
+        for _ in 0..7 {
+            hm.record_access(h(0), p(1), false, None);
+        }
+        assert!(hm.end_interval().promotions.is_empty());
+        for _ in 0..8 {
+            hm.record_access(h(0), p(1), false, None);
+        }
+        assert_eq!(hm.end_interval().promotions, vec![(p(1), h(0))]);
+    }
+
+    #[test]
+    fn counters_reset_each_interval() {
+        let mut hm = HememPolicy::new(1, 100, 8);
+        for _ in 0..7 {
+            hm.record_access(h(0), p(1), false, None);
+        }
+        hm.end_interval();
+        // 7 more in the next interval: still below threshold (no carry).
+        for _ in 0..7 {
+            hm.record_access(h(0), p(1), false, None);
+        }
+        assert!(hm.end_interval().promotions.is_empty());
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut hm = HememPolicy::new(1, 100, 1).with_budget(3);
+        for i in 0..10 {
+            for _ in 0..5 {
+                hm.record_access(h(0), p(i), false, None);
+            }
+        }
+        assert_eq!(hm.end_interval().promotions.len(), 3);
+    }
+
+    #[test]
+    fn local_touches_keep_page_resident() {
+        let mut hm = HememPolicy::new(1, 100, 1);
+        hm.record_access(h(0), p(1), false, None);
+        hm.end_interval();
+        // resident now; keep touching it as resident.
+        for _ in 0..HememPolicy::IDLE_DEMOTE_INTERVALS + 2 {
+            hm.record_access(h(0), p(1), false, Some(h(0)));
+            let out = hm.end_interval();
+            assert!(!out.demotions.contains(&(p(1), h(0))));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! HW-static: Intel-Flat-Mode-like static mapping for the PIPM mechanism.
+
+use pipm_types::{HostId, PageNum};
+
+/// The HW-static ablation's address map (paper §3.3, §5.1.3): CXL-DSM is
+/// uniformly partitioned and *statically* mapped onto the hosts' local
+/// memories, page-interleaved, with no ability to remap at runtime —
+/// analogous to Intel Flat Mode's fixed one-to-one line mapping.
+///
+/// Used together with PIPM's incremental coherence mechanism: a line may
+/// migrate into the local memory of the host its page statically maps to,
+/// regardless of who actually accesses it. Data hot for host A but mapped
+/// to host B therefore never becomes local to A — the source of
+/// HW-static's low local hit rate in Figures 10–11.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HwStaticMap {
+    hosts: usize,
+}
+
+impl HwStaticMap {
+    /// Creates the map for `hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn new(hosts: usize) -> Self {
+        assert!(hosts > 0);
+        HwStaticMap { hosts }
+    }
+
+    /// The host whose local memory page `page` statically maps to.
+    pub fn target(&self, page: PageNum) -> HostId {
+        HostId::new((page.raw() % self.hosts as u64) as usize)
+    }
+
+    /// Fraction of pages mapping to each host (uniform by construction).
+    pub fn share(&self) -> f64 {
+        1.0 / self.hosts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_interleaving() {
+        let m = HwStaticMap::new(4);
+        let mut counts = [0u64; 4];
+        for i in 0..4000 {
+            counts[m.target(PageNum::new(i)).index()] += 1;
+        }
+        assert_eq!(counts, [1000; 4]);
+        assert!((m.share() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_is_static() {
+        let m = HwStaticMap::new(3);
+        let p = PageNum::new(17);
+        assert_eq!(m.target(p), m.target(p));
+    }
+}

@@ -1,0 +1,234 @@
+//! Baseline page-migration schemes for multi-host CXL-DSM.
+//!
+//! Implements the comparison points of the paper's evaluation (§5.1.3):
+//!
+//! * [`NomadPolicy`] — recency-based hotness (Nomad, OSDI '24): pages
+//!   re-accessed across consecutive intervals are promoted; asynchronous
+//!   transactional migration lowers the initiator overhead.
+//! * [`MemtisPolicy`] — frequency-based hotness (Memtis, SOSP '23):
+//!   per-page access counters with exponential decay; the globally hottest
+//!   pages of each host are promoted up to the per-interval budget.
+//! * [`HememPolicy`] — frequency-threshold hotness (HeMem, SOSP '21):
+//!   pages crossing a fixed per-interval access-count threshold are
+//!   promoted; pages idle for several intervals are demoted.
+//! * [`OsSkewPolicy`] — the ablation that drives the conventional kernel
+//!   migration mechanism with PIPM's majority-vote policy at page
+//!   granularity.
+//! * [`HwStaticMap`] — the Intel-Flat-Mode-like ablation: a fixed,
+//!   uniform, page-interleaved mapping from CXL-DSM onto the hosts' local
+//!   memories, used with PIPM's incremental hardware mechanism.
+//!
+//! All four OS policies implement [`HotnessPolicy`]; the system simulator
+//! in `pipm-core` calls [`HotnessPolicy::record_access`] on every
+//! shared-data LLC miss (standing in for the fault/PEBS sampling the real
+//! systems use) and [`HotnessPolicy::end_interval`] at each migration
+//! interval, then applies the returned promotions/demotions with the
+//! kernel cost model of the paper (§5.1.4).
+//!
+//! # Example
+//!
+//! ```
+//! use pipm_baselines::{HememPolicy, HotnessPolicy};
+//! use pipm_types::{HostId, PageNum};
+//!
+//! let mut p = HememPolicy::new(4, 1024, 8);
+//! let h = HostId::new(1);
+//! for _ in 0..10 {
+//!     p.record_access(h, PageNum::new(7), false, None);
+//! }
+//! let out = p.end_interval();
+//! assert_eq!(out.promotions, vec![(PageNum::new(7), h)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hemem;
+mod hwstatic;
+mod memtis;
+mod nomad;
+mod osskew;
+
+pub use hemem::HememPolicy;
+pub use hwstatic::HwStaticMap;
+pub use memtis::MemtisPolicy;
+pub use nomad::NomadPolicy;
+pub use osskew::OsSkewPolicy;
+
+use pipm_types::{HostId, PageNum, SchemeKind};
+
+/// Promotions and demotions decided at an interval boundary.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct IntervalOutcome {
+    /// Pages to migrate from CXL memory into a host's local memory.
+    pub promotions: Vec<(PageNum, HostId)>,
+    /// Pages to migrate back from a host's local memory to CXL memory.
+    pub demotions: Vec<(PageNum, HostId)>,
+}
+
+impl IntervalOutcome {
+    /// Whether nothing was decided.
+    pub fn is_empty(&self) -> bool {
+        self.promotions.is_empty() && self.demotions.is_empty()
+    }
+}
+
+/// A page-hotness policy driving the kernel migration mechanism.
+///
+/// Implementations keep their own view of which pages they have promoted
+/// (the simulator applies every decision), and must respect the per-host
+/// capacity and per-interval budget they were constructed with.
+pub trait HotnessPolicy: std::fmt::Debug {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Which scheme this policy realizes.
+    fn scheme(&self) -> SchemeKind;
+
+    /// Records a shared-data access observed by the OS on `host`.
+    /// `resident_at` is the page's current location (`None` = CXL memory),
+    /// letting recency/frequency structures treat already-migrated pages
+    /// appropriately.
+    fn record_access(&mut self, host: HostId, page: PageNum, is_write: bool, resident_at: Option<HostId>);
+
+    /// Closes the current interval and returns migration decisions.
+    fn end_interval(&mut self) -> IntervalOutcome;
+
+    /// Sets the promotion budget (pages) available for the *next*
+    /// interval — the kernel migration bandwidth the mechanism grants.
+    fn set_interval_budget(&mut self, pages: usize);
+}
+
+/// Shared bookkeeping for policies: per-host resident sets with capacity
+/// enforcement and an LRU-ish eviction order by last-touched interval.
+#[derive(Clone, Debug)]
+pub(crate) struct ResidencyTracker {
+    capacity_pages: usize,
+    resident: Vec<std::collections::HashMap<PageNum, u64>>, // page → last interval touched
+    interval: u64,
+}
+
+impl ResidencyTracker {
+    pub(crate) fn new(hosts: usize, capacity_pages: usize) -> Self {
+        ResidencyTracker {
+            capacity_pages,
+            resident: vec![std::collections::HashMap::new(); hosts],
+            interval: 0,
+        }
+    }
+
+    #[allow(dead_code)] // exercised by tests and diagnostics
+    pub(crate) fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    pub(crate) fn bump_interval(&mut self) {
+        self.interval += 1;
+    }
+
+    pub(crate) fn location(&self, page: PageNum) -> Option<HostId> {
+        self.resident
+            .iter()
+            .position(|m| m.contains_key(&page))
+            .map(HostId::new)
+    }
+
+    pub(crate) fn touch(&mut self, host: HostId, page: PageNum) {
+        if let Some(t) = self.resident[host.index()].get_mut(&page) {
+            *t = self.interval;
+        }
+    }
+
+    #[allow(dead_code)] // exercised by tests and diagnostics
+    pub(crate) fn resident_count(&self, host: HostId) -> usize {
+        self.resident[host.index()].len()
+    }
+
+    pub(crate) fn is_resident(&self, page: PageNum) -> bool {
+        self.resident.iter().any(|m| m.contains_key(&page))
+    }
+
+    /// Registers a promotion; returns demotions needed to stay within
+    /// capacity (coldest-first).
+    pub(crate) fn promote(&mut self, host: HostId, page: PageNum) -> Vec<(PageNum, HostId)> {
+        let iv = self.interval;
+        self.resident[host.index()].insert(page, iv);
+        let mut demote = Vec::new();
+        while self.resident[host.index()].len() > self.capacity_pages {
+            if let Some((&victim, _)) = self.resident[host.index()]
+                .iter()
+                .min_by_key(|(_, &t)| t)
+            {
+                self.resident[host.index()].remove(&victim);
+                demote.push((victim, host));
+            } else {
+                break;
+            }
+        }
+        demote
+    }
+
+    pub(crate) fn demote(&mut self, host: HostId, page: PageNum) -> bool {
+        self.resident[host.index()].remove(&page).is_some()
+    }
+
+    /// Pages at `host` last touched at or before `cutoff` intervals ago.
+    pub(crate) fn idle_pages(&self, host: HostId, idle_intervals: u64) -> Vec<PageNum> {
+        let cutoff = self.interval.saturating_sub(idle_intervals);
+        self.resident[host.index()]
+            .iter()
+            .filter(|(_, &t)| t <= cutoff)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_counter_advances() {
+        let mut r = ResidencyTracker::new(1, 4);
+        assert_eq!(r.interval(), 0);
+        r.bump_interval();
+        assert_eq!(r.interval(), 1);
+        assert_eq!(r.resident_count(HostId::new(0)), 0);
+    }
+
+    #[test]
+    fn residency_capacity_enforced() {
+        let mut r = ResidencyTracker::new(2, 2);
+        let h = HostId::new(0);
+        assert!(r.promote(h, PageNum::new(1)).is_empty());
+        assert!(r.promote(h, PageNum::new(2)).is_empty());
+        r.bump_interval();
+        r.touch(h, PageNum::new(1));
+        let demoted = r.promote(h, PageNum::new(3));
+        // Page 2 was coldest.
+        assert_eq!(demoted, vec![(PageNum::new(2), h)]);
+        assert_eq!(r.resident_count(h), 2);
+    }
+
+    #[test]
+    fn residency_location() {
+        let mut r = ResidencyTracker::new(3, 8);
+        r.promote(HostId::new(2), PageNum::new(9));
+        assert_eq!(r.location(PageNum::new(9)), Some(HostId::new(2)));
+        assert_eq!(r.location(PageNum::new(1)), None);
+        assert!(r.demote(HostId::new(2), PageNum::new(9)));
+        assert!(!r.is_resident(PageNum::new(9)));
+    }
+
+    #[test]
+    fn idle_pages_by_interval() {
+        let mut r = ResidencyTracker::new(1, 8);
+        let h = HostId::new(0);
+        r.promote(h, PageNum::new(1));
+        r.bump_interval();
+        r.bump_interval();
+        r.promote(h, PageNum::new(2));
+        let idle = r.idle_pages(h, 1);
+        assert_eq!(idle, vec![PageNum::new(1)]);
+    }
+}

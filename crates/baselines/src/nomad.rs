@@ -1,0 +1,186 @@
+//! Nomad: recency-based hotness with asynchronous transactional migration.
+
+use crate::{HotnessPolicy, IntervalOutcome, ResidencyTracker};
+use pipm_types::{HostId, PageNum, SchemeKind};
+use std::collections::HashMap;
+
+/// Recency-based policy in the style of Nomad (OSDI '24) and the kernel's
+/// transparent page placement: a page accessed in two consecutive intervals
+/// by the same host is considered hot and promoted. Pages idle for
+/// [`IDLE_DEMOTE_INTERVALS`] intervals are demoted.
+///
+/// Each host runs its own instance of the heuristic over the accesses it
+/// observes — single-host reasoning, exactly the property the paper shows
+/// breaks down in multi-host CXL-DSM.
+///
+/// [`IDLE_DEMOTE_INTERVALS`]: NomadPolicy::IDLE_DEMOTE_INTERVALS
+#[derive(Clone, Debug)]
+pub struct NomadPolicy {
+    tracker: ResidencyTracker,
+    budget: usize,
+    /// Per host: pages seen this interval → access count.
+    current: Vec<HashMap<PageNum, u32>>,
+    /// Per host: pages seen last interval.
+    previous: Vec<HashMap<PageNum, u32>>,
+}
+
+impl NomadPolicy {
+    /// Intervals a resident page may stay idle before demotion.
+    pub const IDLE_DEMOTE_INTERVALS: u64 = 4;
+
+    /// Creates the policy for `hosts` hosts with a per-host local capacity
+    /// of `capacity_pages` and a per-interval promotion `budget`.
+    pub fn new(hosts: usize, capacity_pages: usize, budget: usize) -> Self {
+        NomadPolicy {
+            tracker: ResidencyTracker::new(hosts, capacity_pages),
+            budget,
+            current: vec![HashMap::new(); hosts],
+            previous: vec![HashMap::new(); hosts],
+        }
+    }
+}
+
+impl HotnessPolicy for NomadPolicy {
+    fn name(&self) -> &'static str {
+        "Nomad"
+    }
+
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::Nomad
+    }
+
+    fn record_access(
+        &mut self,
+        host: HostId,
+        page: PageNum,
+        _is_write: bool,
+        resident_at: Option<HostId>,
+    ) {
+        if resident_at == Some(host) {
+            self.tracker.touch(host, page);
+            return;
+        }
+        *self.current[host.index()].entry(page).or_insert(0) += 1;
+    }
+
+    fn set_interval_budget(&mut self, pages: usize) {
+        self.budget = pages;
+    }
+
+    fn end_interval(&mut self) -> IntervalOutcome {
+        let mut out = IntervalOutcome::default();
+        let hosts = self.current.len();
+        for hi in 0..hosts {
+            let host = HostId::new(hi);
+            // Candidates: touched this interval AND last interval (recency
+            // across intervals), most-touched first.
+            let mut cand: Vec<(PageNum, u32)> = self.current[hi]
+                .iter()
+                .filter(|(p, _)| self.previous[hi].contains_key(p))
+                .map(|(&p, &c)| (p, c))
+                .collect();
+            cand.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut promoted = 0;
+            for (page, _) in cand {
+                if promoted >= self.budget {
+                    break;
+                }
+                // Single-host reasoning: skip only pages already local
+                // somewhere (no stealing), with no view of other hosts'
+                // access intensity.
+                if self.tracker.is_resident(page) {
+                    continue;
+                }
+                for d in self.tracker.promote(host, page) {
+                    out.demotions.push(d);
+                }
+                out.promotions.push((page, host));
+                promoted += 1;
+            }
+            // Demote idle pages.
+            for page in self.tracker.idle_pages(host, Self::IDLE_DEMOTE_INTERVALS) {
+                self.tracker.demote(host, page);
+                out.demotions.push((page, host));
+            }
+        }
+        for hi in 0..hosts {
+            self.previous[hi] = std::mem::take(&mut self.current[hi]);
+        }
+        self.tracker.bump_interval();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn p(i: u64) -> PageNum {
+        PageNum::new(i)
+    }
+
+    #[test]
+    fn promotes_only_after_two_intervals() {
+        let mut n = NomadPolicy::new(2, 100, 10);
+        n.record_access(h(0), p(1), false, None);
+        let out = n.end_interval();
+        assert!(out.promotions.is_empty(), "one interval is not enough");
+        n.record_access(h(0), p(1), false, None);
+        let out = n.end_interval();
+        assert_eq!(out.promotions, vec![(p(1), h(0))]);
+    }
+
+    #[test]
+    fn budget_limits_promotions() {
+        let mut n = NomadPolicy::new(1, 100, 2);
+        for iv in 0..2 {
+            for i in 0..10 {
+                n.record_access(h(0), p(i), false, None);
+            }
+            if iv == 0 {
+                n.end_interval();
+            }
+        }
+        let out = n.end_interval();
+        assert_eq!(out.promotions.len(), 2);
+    }
+
+    #[test]
+    fn no_stealing_between_hosts() {
+        let mut n = NomadPolicy::new(2, 100, 10);
+        n.record_access(h(0), p(5), false, None);
+        n.end_interval();
+        n.record_access(h(0), p(5), false, None);
+        let out = n.end_interval();
+        assert_eq!(out.promotions, vec![(p(5), h(0))]);
+        // Host 1 also hammers the page but cannot steal it.
+        n.record_access(h(1), p(5), false, Some(h(0)));
+        n.end_interval();
+        n.record_access(h(1), p(5), false, Some(h(0)));
+        let out = n.end_interval();
+        assert!(out.promotions.is_empty());
+    }
+
+    #[test]
+    fn idle_pages_get_demoted() {
+        let mut n = NomadPolicy::new(1, 100, 10);
+        n.record_access(h(0), p(3), false, None);
+        n.end_interval();
+        n.record_access(h(0), p(3), false, None);
+        let out = n.end_interval();
+        assert_eq!(out.promotions.len(), 1);
+        // Never touch it again: after the idle horizon it is demoted.
+        let mut demoted = false;
+        for _ in 0..=NomadPolicy::IDLE_DEMOTE_INTERVALS + 1 {
+            let out = n.end_interval();
+            if out.demotions.contains(&(p(3), h(0))) {
+                demoted = true;
+            }
+        }
+        assert!(demoted);
+    }
+}

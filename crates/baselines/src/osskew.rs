@@ -1,0 +1,216 @@
+//! OS-skew: PIPM's majority-vote policy driving kernel page migration.
+
+use crate::{HotnessPolicy, IntervalOutcome, ResidencyTracker};
+use pipm_types::{HostId, PageNum, SchemeKind};
+use std::collections::HashMap;
+
+/// Boyer–Moore state for one page.
+#[derive(Clone, Copy, Debug, Default)]
+struct Vote {
+    candidate: u8,
+    counter: u8,
+}
+
+/// The OS-skew ablation (paper §5.1.3): the PIPM majority-vote migration
+/// policy applied at page granularity, but executed by the conventional
+/// kernel migration mechanism at interval boundaries.
+///
+/// Unlike the per-host heuristics, the vote aggregates accesses *across*
+/// hosts (as PIPM's global remapping table does), so it avoids promoting
+/// pages that other hosts access heavily — but it still pays whole-page
+/// transfer and page-table/TLB management costs.
+#[derive(Clone, Debug)]
+pub struct OsSkewPolicy {
+    tracker: ResidencyTracker,
+    threshold: u8,
+    budget: usize,
+    votes: HashMap<PageNum, Vote>,
+    /// Pages whose vote crossed the threshold this interval, with winner.
+    pending: Vec<(PageNum, HostId)>,
+    /// Resident pages' post-migration vote (local counter analogue):
+    /// decremented by inter-host accesses, incremented by owner accesses.
+    resident_counter: HashMap<PageNum, u8>,
+    local_counter_max: u8,
+}
+
+impl OsSkewPolicy {
+    /// Creates the policy with the PIPM migration `threshold` (paper: 8).
+    pub fn new(hosts: usize, capacity_pages: usize, threshold: u8, budget: usize) -> Self {
+        OsSkewPolicy {
+            tracker: ResidencyTracker::new(hosts, capacity_pages),
+            threshold,
+            budget,
+            votes: HashMap::new(),
+            pending: Vec::new(),
+            resident_counter: HashMap::new(),
+            local_counter_max: 15,
+        }
+    }
+}
+
+impl HotnessPolicy for OsSkewPolicy {
+    fn name(&self) -> &'static str {
+        "OS-skew"
+    }
+
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::OsSkew
+    }
+
+    fn record_access(
+        &mut self,
+        host: HostId,
+        page: PageNum,
+        _is_write: bool,
+        resident_at: Option<HostId>,
+    ) {
+        match resident_at {
+            Some(owner) => {
+                // Post-migration: owner accesses strengthen the residency,
+                // other hosts' accesses weaken it (the local-counter rule).
+                let c = self
+                    .resident_counter
+                    .entry(page)
+                    .or_insert(self.threshold);
+                if owner == host {
+                    self.tracker.touch(host, page);
+                    *c = (*c + 1).min(self.local_counter_max);
+                } else {
+                    *c = c.saturating_sub(1);
+                }
+            }
+            None => {
+                let v = self.votes.entry(page).or_default();
+                if v.counter == 0 {
+                    v.candidate = host.index() as u8;
+                    v.counter = 1;
+                } else if v.candidate == host.index() as u8 {
+                    v.counter = (v.counter + 1).min(63);
+                } else {
+                    v.counter -= 1;
+                }
+                if v.counter >= self.threshold {
+                    self.pending.push((page, host));
+                    v.counter = 0;
+                }
+            }
+        }
+    }
+
+    fn set_interval_budget(&mut self, pages: usize) {
+        self.budget = pages;
+    }
+
+    fn end_interval(&mut self) -> IntervalOutcome {
+        let mut out = IntervalOutcome::default();
+        let mut promoted = 0;
+        for (page, host) in std::mem::take(&mut self.pending) {
+            if promoted >= self.budget {
+                break;
+            }
+            if self.tracker.is_resident(page) {
+                continue;
+            }
+            for d in self.tracker.promote(host, page) {
+                self.resident_counter.remove(&d.0);
+                out.demotions.push(d);
+            }
+            out.promotions.push((page, host));
+            self.resident_counter.insert(page, self.threshold);
+            promoted += 1;
+        }
+        // Revoke pages whose residency vote collapsed.
+        let revoke: Vec<PageNum> = self
+            .resident_counter
+            .iter()
+            .filter(|(_, &c)| c == 0)
+            .map(|(&p, _)| p)
+            .collect();
+        for page in revoke {
+            if let Some(owner) = self.tracker.location(page) {
+                self.tracker.demote(owner, page);
+                out.demotions.push((page, owner));
+            }
+            self.resident_counter.remove(&page);
+            self.votes.remove(&page);
+        }
+        self.tracker.bump_interval();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn p(i: u64) -> PageNum {
+        PageNum::new(i)
+    }
+
+    #[test]
+    fn majority_required_for_promotion() {
+        let mut o = OsSkewPolicy::new(2, 100, 4, 100);
+        // Alternating accesses never build a majority.
+        for _ in 0..20 {
+            o.record_access(h(0), p(1), false, None);
+            o.record_access(h(1), p(1), false, None);
+        }
+        assert!(o.end_interval().promotions.is_empty());
+        // A clear majority does.
+        for _ in 0..8 {
+            o.record_access(h(0), p(2), false, None);
+        }
+        assert_eq!(o.end_interval().promotions, vec![(p(2), h(0))]);
+    }
+
+    #[test]
+    fn contested_page_avoided_even_when_hot_for_everyone() {
+        let mut o = OsSkewPolicy::new(4, 100, 8, 100);
+        // All four hosts hammer the page equally — a per-host frequency
+        // policy would promote it; the vote never fires.
+        for _ in 0..100 {
+            for i in 0..4 {
+                o.record_access(h(i), p(9), false, None);
+            }
+        }
+        assert!(o.end_interval().promotions.is_empty());
+    }
+
+    #[test]
+    fn interhost_pressure_revokes_residency() {
+        let mut o = OsSkewPolicy::new(2, 100, 4, 100);
+        for _ in 0..4 {
+            o.record_access(h(0), p(3), false, None);
+        }
+        let out = o.end_interval();
+        assert_eq!(out.promotions.len(), 1);
+        // Now host 1 hammers it inter-host: counter drains, page demoted.
+        for _ in 0..8 {
+            o.record_access(h(1), p(3), false, Some(h(0)));
+        }
+        let out = o.end_interval();
+        assert!(out.demotions.contains(&(p(3), h(0))));
+    }
+
+    #[test]
+    fn owner_accesses_sustain_residency() {
+        let mut o = OsSkewPolicy::new(2, 100, 4, 100);
+        for _ in 0..4 {
+            o.record_access(h(0), p(3), false, None);
+        }
+        o.end_interval();
+        for _ in 0..10 {
+            o.record_access(h(0), p(3), false, Some(h(0)));
+            o.record_access(h(1), p(3), false, Some(h(0)));
+            let out = o.end_interval();
+            assert!(
+                !out.demotions.contains(&(p(3), h(0))),
+                "balanced pressure with owner majority must not revoke"
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks for the hardware structures on PIPM's
+//! critical path, plus a small end-to-end simulation benchmark.
+//!
+//! Run with `cargo bench`. These complement the figure harnesses
+//! (`src/bin/*`), which regenerate the paper's tables and figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pipm_cache::SetAssoc;
+use pipm_coherence::{DevState, DeviceDirectory};
+use pipm_core::{run_one, GlobalRemap, LocalRemap};
+use pipm_fabric::{Dir, Fabric};
+use pipm_mem::Dram;
+use pipm_types::{
+    Addr, CxlConfig, DirectoryConfig, DramConfig, HostId, LineAddr, PageNum, PipmConfig,
+    SchemeKind, SystemConfig,
+};
+use pipm_workloads::{Workload, WorkloadParams};
+
+fn bench_setassoc(c: &mut Criterion) {
+    c.bench_function("cache/setassoc_lookup_insert", |b| {
+        let mut cache: SetAssoc<LineAddr, u8> = SetAssoc::new(1024, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            let line = LineAddr::new(i.wrapping_mul(0x9e3779b9) % 65_536);
+            if cache.lookup(line).is_none() {
+                cache.insert(line, 0);
+            }
+            i += 1;
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("mem/dram_access", |b| {
+        let mut dram = Dram::new(&DramConfig::default());
+        let mut t = 0;
+        let mut i = 0u64;
+        b.iter(|| {
+            t = dram.access(Addr::new((i * 8192) % (1 << 26)), t, i % 4 == 0);
+            i += 1;
+        });
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    c.bench_function("fabric/send", |b| {
+        let mut fabric = Fabric::new(4, &CxlConfig::default());
+        let mut t = 0;
+        let mut i = 0u64;
+        b.iter(|| {
+            let h = HostId::new((i % 4) as usize);
+            t = fabric.send(h, Dir::ToDevice, t, 16, false).at;
+            i += 1;
+        });
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    c.bench_function("coherence/device_directory", |b| {
+        let mut dir = DeviceDirectory::new(&DirectoryConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let line = LineAddr::new(i % 1_000_000);
+            if dir.lookup(line).is_none() {
+                dir.update(line, DevState::Modified(HostId::new((i % 4) as usize)));
+            } else {
+                dir.remove(line);
+            }
+            i += 1;
+        });
+    });
+}
+
+fn bench_majority_vote(c: &mut Criterion) {
+    c.bench_function("pipm/majority_vote", |b| {
+        let mut global = GlobalRemap::new(&PipmConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let page = PageNum::new(i % 10_000);
+            let host = HostId::new(((i >> 2) % 4) as usize);
+            global.lookup(page);
+            global.vote(page, host, 8);
+            i += 1;
+        });
+    });
+}
+
+fn bench_local_remap(c: &mut Criterion) {
+    c.bench_function("pipm/local_remap", |b| {
+        let mut local = LocalRemap::new(&PipmConfig::default(), 1 << 20);
+        for p in 0..4096u64 {
+            local.initiate(PageNum::new(p), 8);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let page = PageNum::new(i % 4096);
+            local.lookup(page);
+            local.set_line(page, (i % 64) as usize);
+            local.local_access(page);
+            i += 1;
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for scheme in [SchemeKind::Native, SchemeKind::Pipm] {
+        g.bench_function(format!("sim_10k_refs/{scheme}"), |b| {
+            b.iter(|| {
+                let params = WorkloadParams {
+                    refs_per_core: 10_000,
+                    seed: 1,
+                };
+                run_one(
+                    Workload::Bfs,
+                    scheme,
+                    SystemConfig::experiment_scale(),
+                    &params,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // The micro-benchmarks are stable in microseconds; keep wall time low.
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_setassoc,
+    bench_dram,
+    bench_fabric,
+    bench_directory,
+    bench_majority_vote,
+    bench_local_remap,
+    bench_end_to_end
+);
+criterion_main!(benches);

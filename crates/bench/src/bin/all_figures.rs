@@ -1,0 +1,31 @@
+//! Runs every table/figure harness in sequence. Results are cached in
+//! `target/pipm_results_cache.tsv`, so re-runs and per-figure binaries
+//! reuse completed simulations.
+fn main() {
+    // Main matrix (Figures 4, 5, 10-13) at the harness scale; sensitivity
+    // sweeps (Figures 14-17, threshold) at half scale — every figure is
+    // self-normalized, so per-figure scale consistency is what matters.
+    let h = pipm_bench::Harness::from_env();
+    let mut sens = pipm_bench::Harness::from_env();
+    sens.refs_per_core = (h.refs_per_core / 2).max(10_000);
+    eprintln!(
+        "[all_figures] refs/core={} (sensitivity {}) workloads={}",
+        h.refs_per_core,
+        sens.refs_per_core,
+        h.workloads().len()
+    );
+    pipm_bench::figs::table1(&h);
+    pipm_bench::figs::table2(&h);
+    pipm_bench::figs::verify_protocol();
+    pipm_bench::figs::fig10(&h);
+    pipm_bench::figs::fig11(&h);
+    pipm_bench::figs::fig12(&h);
+    pipm_bench::figs::fig13(&h);
+    pipm_bench::figs::fig05(&h);
+    pipm_bench::figs::fig04(&h);
+    pipm_bench::figs::fig14(&sens);
+    pipm_bench::figs::fig15(&sens);
+    pipm_bench::figs::fig16(&sens);
+    pipm_bench::figs::fig17(&sens);
+    pipm_bench::figs::threshold_sweep(&sens);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 end to end output. See EXPERIMENTS.md.
+fn main() {
+    let h = pipm_bench::Harness::from_env();
+    pipm_bench::figs::fig10(&h);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 interhost stalls output. See EXPERIMENTS.md.
+fn main() {
+    let h = pipm_bench::Harness::from_env();
+    pipm_bench::figs::fig12(&h);
+}

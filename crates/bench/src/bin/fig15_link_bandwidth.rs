@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15 link bandwidth output. See EXPERIMENTS.md.
+fn main() {
+    let h = pipm_bench::Harness::from_env();
+    pipm_bench::figs::fig15(&h);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16 local remap cache output. See EXPERIMENTS.md.
+fn main() {
+    let h = pipm_bench::Harness::from_env();
+    pipm_bench::figs::fig16(&h);
+}

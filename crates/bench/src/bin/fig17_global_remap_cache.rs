@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig17 global remap cache output. See EXPERIMENTS.md.
+fn main() {
+    let h = pipm_bench::Harness::from_env();
+    pipm_bench::figs::fig17(&h);
+}

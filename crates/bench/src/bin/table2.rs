@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 output. See EXPERIMENTS.md.
+fn main() {
+    let h = pipm_bench::Harness::from_env();
+    pipm_bench::figs::table2(&h);
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Murφ verification of the PIPM coherence
+//! protocol (§5.1.4) with the `pipm-mcheck` explicit-state checker.
+fn main() {
+    pipm_bench::figs::verify_protocol();
+}

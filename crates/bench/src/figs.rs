@@ -1,0 +1,502 @@
+//! One function per paper table/figure; binaries in `src/bin` are thin
+//! wrappers. Output is TSV with the same rows/series the paper plots.
+
+use crate::{geomean, print_table, Harness};
+use pipm_types::{SchemeKind, SystemConfig};
+use pipm_workloads::Workload;
+
+/// Table 1: the evaluated workloads, their suites, paper footprints, and
+/// the scaled footprints the generators use.
+pub fn table1(_h: &Harness) {
+    let rows: Vec<Vec<String>> = Workload::ALL
+        .iter()
+        .map(|w| {
+            vec![
+                w.label().to_string(),
+                w.description().to_string(),
+                w.suite().to_string(),
+                format!("{}GB", w.paper_footprint_gb()),
+                format!("{}MB", w.scaled_footprint_bytes() >> 20),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: evaluated workloads",
+        &["workload", "description", "suite", "paper_footprint", "scaled_footprint"],
+        &rows,
+    );
+}
+
+/// Table 2: the system configuration in force (defaults = paper Table 2;
+/// the experiment scale additionally shrinks the caches with the
+/// footprints, DESIGN.md §4).
+pub fn table2(_h: &Harness) {
+    let cfg = SystemConfig::default();
+    let exp = SystemConfig::experiment_scale();
+    let rows = vec![
+        vec!["architecture".into(), format!("{} hosts × {} cores", cfg.hosts, cfg.cores_per_host)],
+        vec![
+            "cpu".into(),
+            format!(
+                "{}-wide OoO, {}-entry ROB, {}-entry LQ, {}-entry SQ, {} MSHRs",
+                cfg.core.width, cfg.core.rob_entries, cfg.core.lq_entries, cfg.core.sq_entries,
+                cfg.core.mshr_entries
+            ),
+        ],
+        vec![
+            "l1d".into(),
+            format!(
+                "{}KB {}-way, {}-cycle RT (experiment scale: {}KB)",
+                cfg.l1d.capacity_bytes >> 10, cfg.l1d.ways, cfg.l1d.hit_latency,
+                exp.l1d.capacity_bytes >> 10
+            ),
+        ],
+        vec![
+            "llc".into(),
+            format!(
+                "{}MB/core {}-way, {}-cycle RT (experiment scale: {}KB/core)",
+                cfg.llc_per_core.capacity_bytes >> 20, cfg.llc_per_core.ways,
+                cfg.llc_per_core.hit_latency, exp.llc_per_core.capacity_bytes >> 10
+            ),
+        ],
+        vec![
+            "dram".into(),
+            format!(
+                "DDR5-4800, tRC-tRCD-tCL-tRP {}-{}-{}-{} ns; {} CXL + {} local channel(s)",
+                cfg.local_dram.t_rc_ns, cfg.local_dram.t_rcd_ns, cfg.local_dram.t_cl_ns,
+                cfg.local_dram.t_rp_ns, cfg.cxl_dram.channels, cfg.local_dram.channels
+            ),
+        ],
+        vec![
+            "cxl_link".into(),
+            format!(
+                "{} ns latency, {} GB/s raw per direction ({} B headers ≈ 5 GB/s effective)",
+                cfg.cxl.link_latency_ns, cfg.cxl.link_gbps, cfg.cxl.header_bytes
+            ),
+        ],
+        vec![
+            "cxl_directory".into(),
+            format!(
+                "{} sets × {} ways × {} slices, {}-cycle RT @ {} GHz",
+                cfg.directory.sets_per_slice, cfg.directory.ways, cfg.directory.slices,
+                cfg.directory.access_cycles_dir_clock, cfg.directory.dir_ghz
+            ),
+        ],
+        vec![
+            "pipm".into(),
+            format!(
+                "{}KB global remap cache ({}cy), {}MB local remap cache ({}cy), threshold {}",
+                cfg.pipm.global_remap_cache_bytes >> 10, cfg.pipm.global_remap_cache_latency,
+                cfg.pipm.local_remap_cache_bytes >> 20, cfg.pipm.local_remap_cache_latency,
+                cfg.pipm.migration_threshold
+            ),
+        ],
+    ];
+    print_table("Table 2: system configuration", &["parameter", "value"], &rows);
+}
+
+/// Figure 4: execution-time breakdown for Nomad and Memtis at three
+/// migration intervals, normalized to the no-migration (Native) baseline.
+/// The paper's 100 ms / 10 ms / 1 ms intervals map to scaled cycle counts
+/// with the same ×10 ratios (DESIGN.md §4).
+pub fn fig04(h: &Harness) {
+    let intervals = [("100ms", 2_500_000u64), ("10ms", 250_000), ("1ms", 25_000)];
+    let mut rows = Vec::new();
+    for w in h.workloads() {
+        let native = h.measure_default(w, SchemeKind::Native);
+        for scheme in [SchemeKind::Nomad, SchemeKind::Memtis] {
+            for (label, cycles) in intervals {
+                let variant = if cycles == 250_000 { String::new() } else { format!("interval={cycles}") };
+                let m = h.measure(w, scheme, &variant, |cfg| {
+                    cfg.migration_interval_cycles = cycles;
+                });
+                let norm = m.exec_cycles as f64 / native.exec_cycles as f64;
+                let mgmt = m.mgmt_stall_sum as f64 / m.cores as f64 / native.exec_cycles as f64;
+                let transfer =
+                    m.transfer_stall_sum as f64 / m.cores as f64 / native.exec_cycles as f64;
+                rows.push(vec![
+                    w.label().into(),
+                    scheme.label().into(),
+                    label.into(),
+                    format!("{norm:.3}"),
+                    format!("{mgmt:.4}"),
+                    format!("{transfer:.4}"),
+                    format!("{:.3}", norm - mgmt - transfer),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Figure 4: normalized execution time vs migration interval (components normalized to Native)",
+        &["workload", "scheme", "interval", "norm_exec", "mgmt", "transfer", "other"],
+        &rows,
+    );
+    for scheme in [SchemeKind::Nomad, SchemeKind::Memtis] {
+        for (label, cycles) in intervals {
+            let vals: Vec<f64> = h
+                .workloads()
+                .iter()
+                .map(|&w| {
+                    let native = h.measure_default(w, SchemeKind::Native);
+                    let variant = if cycles == 250_000 { String::new() } else { format!("interval={cycles}") };
+                    let m = h.measure(w, scheme, &variant, |cfg| {
+                        cfg.migration_interval_cycles = cycles;
+                    });
+                    m.exec_cycles as f64 / native.exec_cycles as f64
+                })
+                .collect();
+            println!("# geomean {} @{label}: {:.3}", scheme.label(), geomean(&vals));
+        }
+    }
+    println!();
+}
+
+/// Figure 5: percentage of harmful page migrations for Nomad and Memtis
+/// (default interval).
+pub fn fig05(h: &Harness) {
+    let mut rows = Vec::new();
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    for w in h.workloads() {
+        let mut row = vec![w.label().to_string()];
+        for (i, scheme) in [SchemeKind::Nomad, SchemeKind::Memtis].iter().enumerate() {
+            let m = h.measure_default(w, *scheme);
+            let frac = m.harmful_fraction();
+            per_scheme[i].push(frac);
+            row.push(format!("{:.1}%", frac * 100.0));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 5: percentage of harmful page migrations",
+        &["workload", "Nomad", "Memtis"],
+        &rows,
+    );
+    for (i, s) in ["Nomad", "Memtis"].iter().enumerate() {
+        let mean = per_scheme[i].iter().sum::<f64>() / per_scheme[i].len().max(1) as f64;
+        println!("# mean {s}: {:.1}%", mean * 100.0);
+    }
+    println!();
+}
+
+const FIG10_SCHEMES: [SchemeKind; 8] = [
+    SchemeKind::Native,
+    SchemeKind::Nomad,
+    SchemeKind::Memtis,
+    SchemeKind::Hemem,
+    SchemeKind::OsSkew,
+    SchemeKind::HwStatic,
+    SchemeKind::Pipm,
+    SchemeKind::LocalOnly,
+];
+
+/// Figure 10: end-to-end speedup over Native CXL-DSM for every scheme.
+pub fn fig10(h: &Harness) {
+    let mut rows = Vec::new();
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); FIG10_SCHEMES.len()];
+    for w in h.workloads() {
+        let native = h.measure_default(w, SchemeKind::Native);
+        let mut row = vec![w.label().to_string()];
+        for (i, s) in FIG10_SCHEMES.iter().enumerate() {
+            let m = h.measure_default(w, *s);
+            let speedup = native.exec_cycles as f64 / m.exec_cycles.max(1) as f64;
+            per_scheme[i].push(speedup);
+            row.push(format!("{speedup:.3}"));
+        }
+        rows.push(row);
+    }
+    let header: Vec<&str> = std::iter::once("workload")
+        .chain(FIG10_SCHEMES.iter().map(|s| s.label()))
+        .collect();
+    print_table("Figure 10: speedup over Native CXL-DSM", &header, &rows);
+    print!("# geomean");
+    for (i, s) in FIG10_SCHEMES.iter().enumerate() {
+        print!("\t{}={:.3}", s.label(), geomean(&per_scheme[i]));
+    }
+    println!("\n");
+}
+
+/// Figure 11: local memory hit rates (shared-data LLC misses served from
+/// the accessing host's local DRAM).
+pub fn fig11(h: &Harness) {
+    let schemes = [
+        SchemeKind::Nomad,
+        SchemeKind::Memtis,
+        SchemeKind::Hemem,
+        SchemeKind::OsSkew,
+        SchemeKind::HwStatic,
+        SchemeKind::Pipm,
+    ];
+    let mut rows = Vec::new();
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in h.workloads() {
+        let mut row = vec![w.label().to_string()];
+        for (i, s) in schemes.iter().enumerate() {
+            let m = h.measure_default(w, *s);
+            per_scheme[i].push(m.local_hit);
+            row.push(format!("{:.1}%", m.local_hit * 100.0));
+        }
+        rows.push(row);
+    }
+    let header: Vec<&str> = std::iter::once("workload")
+        .chain(schemes.iter().map(|s| s.label()))
+        .collect();
+    print_table("Figure 11: local memory hit rates", &header, &rows);
+    print!("# mean");
+    for (i, s) in schemes.iter().enumerate() {
+        let mean = per_scheme[i].iter().sum::<f64>() / per_scheme[i].len().max(1) as f64;
+        print!("\t{}={:.1}%", s.label(), mean * 100.0);
+    }
+    println!("\n");
+}
+
+/// Figure 12: stall cycles of inter-host memory accesses, normalized to
+/// the Native run's total execution time.
+pub fn fig12(h: &Harness) {
+    let schemes = [
+        SchemeKind::Nomad,
+        SchemeKind::Memtis,
+        SchemeKind::Hemem,
+        SchemeKind::OsSkew,
+        SchemeKind::HwStatic,
+        SchemeKind::Pipm,
+    ];
+    let mut rows = Vec::new();
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in h.workloads() {
+        let native = h.measure_default(w, SchemeKind::Native);
+        let mut row = vec![w.label().to_string()];
+        for (i, s) in schemes.iter().enumerate() {
+            let m = h.measure_default(w, *s);
+            let frac = m.interhost_stall_fraction(native.exec_cycles);
+            per_scheme[i].push(frac);
+            row.push(format!("{:.2}%", frac * 100.0));
+        }
+        rows.push(row);
+    }
+    let header: Vec<&str> = std::iter::once("workload")
+        .chain(schemes.iter().map(|s| s.label()))
+        .collect();
+    print_table(
+        "Figure 12: inter-host stall cycles / Native execution time",
+        &header,
+        &rows,
+    );
+    print!("# mean");
+    for (i, s) in schemes.iter().enumerate() {
+        let mean = per_scheme[i].iter().sum::<f64>() / per_scheme[i].len().max(1) as f64;
+        print!("\t{}={:.2}%", s.label(), mean * 100.0);
+    }
+    println!("\n");
+}
+
+/// Figure 13: average per-host local memory footprint as a fraction of the
+/// total footprint, including PIPM's page- vs line-granularity split.
+/// HW-static's static partition reserves `1/hosts` of the space by
+/// construction (reported as the paper does).
+pub fn fig13(h: &Harness) {
+    let schemes = [
+        SchemeKind::Nomad,
+        SchemeKind::Hemem,
+        SchemeKind::Memtis,
+        SchemeKind::OsSkew,
+    ];
+    let mut rows = Vec::new();
+    for w in h.workloads() {
+        let mut row = vec![w.label().to_string()];
+        for s in schemes {
+            let m = h.measure_default(w, s);
+            row.push(format!("{:.2}%", m.footprint_page * 100.0));
+        }
+        // HW-static: fixed uniform partition (Intel-Flat-Mode-like).
+        row.push("25.00%".into());
+        let p = h.measure_default(w, SchemeKind::Pipm);
+        row.push(format!("{:.2}%", p.footprint_page * 100.0));
+        row.push(format!("{:.2}%", p.footprint_line * 100.0));
+        rows.push(row);
+    }
+    print_table(
+        "Figure 13: per-host local memory footprint / total footprint",
+        &["workload", "Nomad", "HeMem", "Memtis", "OS-skew", "HW-static", "PIPM-page", "PIPM-line"],
+        &rows,
+    );
+}
+
+/// Figure 14: PIPM speedup over Native under different CXL link latencies
+/// (50 ns default, 100 ns switch-attached).
+pub fn fig14(h: &Harness) {
+    let latencies = [("50ns", 50.0), ("100ns", 100.0)];
+    let mut rows = Vec::new();
+    let mut per_lat: Vec<Vec<f64>> = vec![Vec::new(); latencies.len()];
+    for w in h.workloads() {
+        let mut row = vec![w.label().to_string()];
+        for (i, (label, ns)) in latencies.iter().enumerate() {
+            let variant = if *ns == 50.0 { String::new() } else { format!("lat={ns}") };
+            let native = h.measure(w, SchemeKind::Native, &variant, |cfg| {
+                cfg.cxl.link_latency_ns = *ns;
+            });
+            let pipm = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
+                cfg.cxl.link_latency_ns = *ns;
+            });
+            let speedup = native.exec_cycles as f64 / pipm.exec_cycles.max(1) as f64;
+            per_lat[i].push(speedup);
+            row.push(format!("{speedup:.3}"));
+            let _ = label;
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 14: PIPM speedup over Native vs CXL link latency",
+        &["workload", "50ns", "100ns"],
+        &rows,
+    );
+    for (i, (label, _)) in latencies.iter().enumerate() {
+        println!("# geomean @{label}: {:.3}", geomean(&per_lat[i]));
+    }
+    println!();
+}
+
+/// Figure 15: PIPM speedup over Native under different CXL link
+/// bandwidths (×8 / ×16 / ×32 lanes → 4 / 8 / 16 GB/s raw).
+pub fn fig15(h: &Harness) {
+    let bws = [("x8", 4.0), ("x16", 8.0), ("x32", 16.0)];
+    let mut rows = Vec::new();
+    let mut per_bw: Vec<Vec<f64>> = vec![Vec::new(); bws.len()];
+    for w in h.workloads() {
+        let mut row = vec![w.label().to_string()];
+        for (i, (_, gbps)) in bws.iter().enumerate() {
+            let variant = if *gbps == 8.0 { String::new() } else { format!("bw={gbps}") };
+            let native = h.measure(w, SchemeKind::Native, &variant, |cfg| {
+                cfg.cxl.link_gbps = *gbps;
+            });
+            let pipm = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
+                cfg.cxl.link_gbps = *gbps;
+            });
+            let speedup = native.exec_cycles as f64 / pipm.exec_cycles.max(1) as f64;
+            per_bw[i].push(speedup);
+            row.push(format!("{speedup:.3}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 15: PIPM speedup over Native vs CXL link bandwidth",
+        &["workload", "x8", "x16", "x32"],
+        &rows,
+    );
+    for (i, (label, _)) in bws.iter().enumerate() {
+        println!("# geomean @{label}: {:.3}", geomean(&per_bw[i]));
+    }
+    println!();
+}
+
+/// Figure 16: PIPM performance vs local remapping cache size, normalized
+/// to an effectively infinite cache.
+pub fn fig16(h: &Harness) {
+    let sizes: [(&str, u64); 4] = [
+        ("64KB", 64 << 10),
+        ("256KB", 256 << 10),
+        ("1MB", 1 << 20),
+        ("inf", 1 << 40),
+    ];
+    remap_cache_sweep(h, "Figure 16: performance vs local remapping cache size", &sizes, true);
+}
+
+/// Figure 17: PIPM performance vs global remapping cache size, normalized
+/// to an effectively infinite cache.
+pub fn fig17(h: &Harness) {
+    let sizes: [(&str, u64); 4] = [
+        ("1KB", 1 << 10),
+        ("4KB", 4 << 10),
+        ("16KB", 16 << 10),
+        ("inf", 1 << 40),
+    ];
+    remap_cache_sweep(h, "Figure 17: performance vs global remapping cache size", &sizes, false);
+}
+
+fn remap_cache_sweep(h: &Harness, title: &str, sizes: &[(&str, u64)], local: bool) {
+    let mut rows = Vec::new();
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for w in h.workloads() {
+        let inf = h.measure(
+            w,
+            SchemeKind::Pipm,
+            &format!("{}rc=inf", if local { "l" } else { "g" }),
+            |cfg| {
+                if local {
+                    cfg.pipm.local_remap_cache_bytes = 1 << 40;
+                } else {
+                    cfg.pipm.global_remap_cache_bytes = 1 << 40;
+                }
+            },
+        );
+        let mut row = vec![w.label().to_string()];
+        for (i, (label, bytes)) in sizes.iter().enumerate() {
+            let is_default = (local && *bytes == (1 << 20)) || (!local && *bytes == (16 << 10));
+            let variant = if is_default {
+                String::new()
+            } else {
+                format!("{}rc={label}", if local { "l" } else { "g" })
+            };
+            let m = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
+                if local {
+                    cfg.pipm.local_remap_cache_bytes = *bytes;
+                } else {
+                    cfg.pipm.global_remap_cache_bytes = *bytes;
+                }
+            });
+            let rel = inf.exec_cycles as f64 / m.exec_cycles.max(1) as f64;
+            per_size[i].push(rel);
+            row.push(format!("{rel:.4}"));
+        }
+        rows.push(row);
+    }
+    let header: Vec<&str> = std::iter::once("workload")
+        .chain(sizes.iter().map(|(l, _)| *l))
+        .collect();
+    print_table(title, &header, &rows);
+    print!("# geomean");
+    for (i, (label, _)) in sizes.iter().enumerate() {
+        print!("\t{label}={:.4}", geomean(&per_size[i]));
+    }
+    println!("\n");
+}
+
+/// §5.1.4 ablation: PIPM performance across migration thresholds
+/// (the paper observes similar performance for thresholds 4–16).
+pub fn threshold_sweep(h: &Harness) {
+    let thresholds = [4u8, 8, 16];
+    let mut rows = Vec::new();
+    let mut per_thr: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
+    for w in h.workloads() {
+        let base = h.measure_default(w, SchemeKind::Pipm);
+        let mut row = vec![w.label().to_string()];
+        for (i, t) in thresholds.iter().enumerate() {
+            let variant = if *t == 8 { String::new() } else { format!("thr={t}") };
+            let m = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
+                cfg.pipm.migration_threshold = *t;
+            });
+            let rel = base.exec_cycles as f64 / m.exec_cycles.max(1) as f64;
+            per_thr[i].push(rel);
+            row.push(format!("{rel:.3}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Threshold sweep: PIPM performance vs migration threshold (relative to threshold 8)",
+        &["workload", "thr4", "thr8", "thr16"],
+        &rows,
+    );
+    print!("# geomean");
+    for (i, t) in thresholds.iter().enumerate() {
+        print!("\tthr{t}={:.3}", geomean(&per_thr[i]));
+    }
+    println!("\n");
+}
+
+/// §5.1.4: protocol verification (the Murφ substitute).
+pub fn verify_protocol() {
+    for hosts in 2..=4 {
+        let report = pipm_mcheck::Checker::new(hosts).run();
+        println!("{report}");
+        assert!(report.is_ok(), "protocol verification failed");
+    }
+}

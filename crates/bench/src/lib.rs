@@ -1,0 +1,339 @@
+//! Benchmark harness regenerating every table and figure of the PIPM
+//! paper's evaluation (§5).
+//!
+//! Each figure has a binary in `src/bin/` (thin wrappers over the
+//! functions in [`figs`]); `bin/all_figures` runs the full set. Results
+//! are cached in `target/pipm_results_cache.tsv` keyed by (workload,
+//! scheme, parameters), so figures sharing runs (Fig. 10–13 all use the
+//! default-configuration matrix) pay for them once.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `PIPM_SCALE` — multiplies references per core (default 1.0 →
+//!   400 K refs/core; the EXPERIMENTS.md results use the default).
+//! * `PIPM_WORKLOADS` — comma-separated workload filter (default: all 13).
+//! * `PIPM_NO_CACHE` — ignore the on-disk result cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+
+use pipm_core::{run_one, RunResult};
+use pipm_types::{AccessClass, SchemeKind, SystemConfig};
+use pipm_workloads::{Workload, WorkloadParams};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Everything the figures need from one simulation run, in a flat,
+/// TSV-serializable form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Execution time in cycles (max core clock).
+    pub exec_cycles: u64,
+    /// Aggregate IPC.
+    pub ipc: f64,
+    /// Local memory hit rate over shared-data LLC misses (Fig. 11).
+    pub local_hit: f64,
+    /// Sum of inter-host stall cycles across cores (Fig. 12 numerator).
+    pub interhost_stall_sum: u64,
+    /// Total migration-management stall cycles across cores (Fig. 4).
+    pub mgmt_stall_sum: u64,
+    /// Total transfer-attributed stall cycles across cores (Fig. 4).
+    pub transfer_stall_sum: u64,
+    /// Number of cores (normalization for the stall sums).
+    pub cores: u64,
+    /// Pages promoted / partial migrations initiated.
+    pub pages_promoted: u64,
+    /// Pages demoted / revoked.
+    pub pages_demoted: u64,
+    /// PIPM: lines incrementally migrated into local DRAM.
+    pub lines_in: u64,
+    /// PIPM: lines migrated back to CXL.
+    pub lines_back: u64,
+    /// Harmful promotions (Fig. 5 numerator).
+    pub harmful: u64,
+    /// Evaluated promotions (Fig. 5 denominator).
+    pub evaluated: u64,
+    /// Mean peak per-host page-granularity footprint fraction (Fig. 13).
+    pub footprint_page: f64,
+    /// Mean peak per-host line-granularity footprint fraction (Fig. 13).
+    pub footprint_line: f64,
+    /// Local remapping cache hit rate (Fig. 16 context).
+    pub local_remap_hit_rate: f64,
+    /// Global remapping cache hit rate (Fig. 17 context).
+    pub global_remap_hit_rate: f64,
+}
+
+impl Measurement {
+    fn from_run(r: &RunResult) -> Self {
+        let s = &r.stats;
+        let lr_total = s.local_remap_hits + s.local_remap_misses;
+        let gr_total = s.global_remap_hits + s.global_remap_misses;
+        Measurement {
+            exec_cycles: s.exec_cycles(),
+            ipc: s.aggregate_ipc(),
+            local_hit: s.local_hit_rate(),
+            interhost_stall_sum: s
+                .cores
+                .iter()
+                .map(|c| c.class_stall[AccessClass::InterHost.index()])
+                .sum(),
+            mgmt_stall_sum: s.total_mgmt_stall(),
+            transfer_stall_sum: s.total_transfer_stall(),
+            cores: s.cores.len() as u64,
+            pages_promoted: s.migration.pages_promoted,
+            pages_demoted: s.migration.pages_demoted,
+            lines_in: s.migration.lines_migrated_in,
+            lines_back: s.migration.lines_migrated_back,
+            harmful: s.migration.harmful_promotions,
+            evaluated: s.migration.evaluated_promotions,
+            footprint_page: s.footprint_page_fraction(r.cfg.shared_pages()),
+            footprint_line: s.footprint_line_fraction(r.cfg.shared_pages()),
+            local_remap_hit_rate: if lr_total == 0 {
+                0.0
+            } else {
+                s.local_remap_hits as f64 / lr_total as f64
+            },
+            global_remap_hit_rate: if gr_total == 0 {
+                0.0
+            } else {
+                s.global_remap_hits as f64 / gr_total as f64
+            },
+        }
+    }
+
+    /// Fraction of promotions that were harmful (Fig. 5).
+    pub fn harmful_fraction(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.harmful as f64 / self.evaluated as f64
+        }
+    }
+
+    /// Fig. 12 metric: inter-host stall cycles as a fraction of the
+    /// *reference* (native) execution time.
+    pub fn interhost_stall_fraction(&self, native_exec: u64) -> f64 {
+        if native_exec == 0 || self.cores == 0 {
+            0.0
+        } else {
+            self.interhost_stall_sum as f64 / (native_exec as f64 * self.cores as f64)
+        }
+    }
+
+    fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.exec_cycles,
+            self.ipc,
+            self.local_hit,
+            self.interhost_stall_sum,
+            self.mgmt_stall_sum,
+            self.transfer_stall_sum,
+            self.cores,
+            self.pages_promoted,
+            self.pages_demoted,
+            self.lines_in,
+            self.lines_back,
+            self.harmful,
+            self.evaluated,
+            self.footprint_page,
+            self.footprint_line,
+            self.local_remap_hit_rate,
+            self.global_remap_hit_rate,
+        )
+    }
+
+    fn from_tsv(fields: &[&str]) -> Option<Self> {
+        if fields.len() != 17 {
+            return None;
+        }
+        Some(Measurement {
+            exec_cycles: fields[0].parse().ok()?,
+            ipc: fields[1].parse().ok()?,
+            local_hit: fields[2].parse().ok()?,
+            interhost_stall_sum: fields[3].parse().ok()?,
+            mgmt_stall_sum: fields[4].parse().ok()?,
+            transfer_stall_sum: fields[5].parse().ok()?,
+            cores: fields[6].parse().ok()?,
+            pages_promoted: fields[7].parse().ok()?,
+            pages_demoted: fields[8].parse().ok()?,
+            lines_in: fields[9].parse().ok()?,
+            lines_back: fields[10].parse().ok()?,
+            harmful: fields[11].parse().ok()?,
+            evaluated: fields[12].parse().ok()?,
+            footprint_page: fields[13].parse().ok()?,
+            footprint_line: fields[14].parse().ok()?,
+            local_remap_hit_rate: fields[15].parse().ok()?,
+            global_remap_hit_rate: fields[16].parse().ok()?,
+        })
+    }
+}
+
+/// The experiment driver: holds the scale parameters and the result cache.
+pub struct Harness {
+    /// References per core for every run.
+    pub refs_per_core: u64,
+    /// Master seed.
+    pub seed: u64,
+    cache: RefCell<HashMap<String, Measurement>>,
+    cache_path: Option<PathBuf>,
+}
+
+impl Harness {
+    /// Builds the harness from the environment (see crate docs).
+    pub fn from_env() -> Self {
+        let scale: f64 = std::env::var("PIPM_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let refs = ((400_000.0 * scale) as u64).max(10_000);
+        let cache_path = if std::env::var("PIPM_NO_CACHE").is_ok() {
+            None
+        } else {
+            Some(PathBuf::from("target/pipm_results_cache.tsv"))
+        };
+        let mut cache = HashMap::new();
+        if let Some(p) = &cache_path {
+            if let Ok(text) = std::fs::read_to_string(p) {
+                for line in text.lines() {
+                    let mut parts = line.splitn(2, '\t');
+                    if let (Some(key), Some(rest)) = (parts.next(), parts.next()) {
+                        let fields: Vec<&str> = rest.split('\t').collect();
+                        if let Some(m) = Measurement::from_tsv(&fields) {
+                            cache.insert(key.to_string(), m);
+                        }
+                    }
+                }
+            }
+        }
+        Harness {
+            refs_per_core: refs,
+            seed: 0x51_57,
+            cache: RefCell::new(cache),
+            cache_path,
+        }
+    }
+
+    /// The workload list, honouring the `PIPM_WORKLOADS` filter.
+    pub fn workloads(&self) -> Vec<Workload> {
+        match std::env::var("PIPM_WORKLOADS") {
+            Ok(list) => list
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect(),
+            Err(_) => Workload::ALL.to_vec(),
+        }
+    }
+
+    /// Runs (or retrieves from cache) `workload` under `scheme` with the
+    /// experiment-scale configuration modified by `cfg_mod`. `variant`
+    /// must uniquely name the configuration deviation ("" for default).
+    pub fn measure(
+        &self,
+        workload: Workload,
+        scheme: SchemeKind,
+        variant: &str,
+        cfg_mod: impl FnOnce(&mut SystemConfig),
+    ) -> Measurement {
+        let key = format!(
+            "v4|{}|{}|{}|{}|{}",
+            workload, scheme, self.refs_per_core, self.seed, variant
+        );
+        if let Some(m) = self.cache.borrow().get(&key) {
+            return m.clone();
+        }
+        let mut cfg = SystemConfig::experiment_scale();
+        cfg_mod(&mut cfg);
+        let params = WorkloadParams {
+            refs_per_core: self.refs_per_core,
+            seed: self.seed,
+        };
+        let run = run_one(workload, scheme, cfg, &params);
+        let m = Measurement::from_run(&run);
+        self.cache.borrow_mut().insert(key.clone(), m.clone());
+        if let Some(p) = &self.cache_path {
+            if let Some(dir) = p.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(p) {
+                let _ = writeln!(f, "{key}\t{}", m.to_tsv());
+            }
+        }
+        m
+    }
+
+    /// Default-configuration measurement (the Fig. 10–13 matrix).
+    pub fn measure_default(&self, workload: Workload, scheme: SchemeKind) -> Measurement {
+        self.measure(workload, scheme, "", |_| {})
+    }
+}
+
+/// Geometric mean of a non-empty slice (0.0 for empty input).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a TSV table: header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", header.join("\t"));
+    for r in rows {
+        println!("{}", r.join("\t"));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_tsv_round_trip() {
+        let m = Measurement {
+            exec_cycles: 123,
+            ipc: 0.5,
+            local_hit: 0.25,
+            interhost_stall_sum: 7,
+            mgmt_stall_sum: 8,
+            transfer_stall_sum: 9,
+            cores: 16,
+            pages_promoted: 10,
+            pages_demoted: 11,
+            lines_in: 12,
+            lines_back: 13,
+            harmful: 3,
+            evaluated: 6,
+            footprint_page: 0.07,
+            footprint_line: 0.05,
+            local_remap_hit_rate: 0.9,
+            global_remap_hit_rate: 0.8,
+        };
+        let tsv = m.to_tsv();
+        let fields: Vec<&str> = tsv.split('\t').collect();
+        let back = Measurement::from_tsv(&fields).unwrap();
+        assert_eq!(m, back);
+        assert!((m.harmful_fraction() - 0.5).abs() < 1e-9);
+        assert!((m.interhost_stall_fraction(7) - 7.0 / (7.0 * 16.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_tsv_rejected() {
+        assert!(Measurement::from_tsv(&["1", "2"]).is_none());
+        assert!(Measurement::from_tsv(&["x"; 17]).is_none());
+    }
+}

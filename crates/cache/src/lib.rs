@@ -1,0 +1,384 @@
+//! Set-associative cache structures for the PIPM simulator.
+//!
+//! One generic structure, [`SetAssoc`], backs every tagged hardware
+//! structure in the system: L1 data caches and LLCs (keyed by
+//! [`LineAddr`]), the PIPM local/global remapping caches (keyed by
+//! [`PageNum`]), and the CXL device coherence directory (keyed by
+//! [`LineAddr`]). Each entry carries caller-defined metadata `M`
+//! (coherence state, dirty bit, remapping entry, …). Replacement is LRU.
+//!
+//! # Example
+//!
+//! ```
+//! use pipm_cache::SetAssoc;
+//! use pipm_types::LineAddr;
+//!
+//! // 4 sets × 2 ways, bool metadata (a dirty bit).
+//! let mut c: SetAssoc<LineAddr, bool> = SetAssoc::new(4, 2);
+//! assert!(c.insert(LineAddr::new(0), false).is_none());
+//! assert!(c.insert(LineAddr::new(4), false).is_none()); // same set, 2nd way
+//! *c.lookup(LineAddr::new(0)).unwrap() = true;          // touch + dirty
+//! // Inserting a third line into the set evicts the LRU way (line 4).
+//! let victim = c.insert(LineAddr::new(8), false).unwrap();
+//! assert_eq!(victim.0, LineAddr::new(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pipm_types::{LineAddr, PageNum};
+
+/// Keys that can index a set-associative structure.
+///
+/// This trait is sealed in spirit: it is implemented for the address types
+/// used by the simulator ([`LineAddr`], [`PageNum`], and `u64`).
+pub trait CacheKey: Copy + Eq + std::fmt::Debug {
+    /// A stable integer projection of the key, used for set selection.
+    fn as_index(self) -> u64;
+}
+
+impl CacheKey for LineAddr {
+    fn as_index(self) -> u64 {
+        self.raw()
+    }
+}
+
+impl CacheKey for PageNum {
+    fn as_index(self) -> u64 {
+        self.raw()
+    }
+}
+
+impl CacheKey for u64 {
+    fn as_index(self) -> u64 {
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Way<K, M> {
+    key: K,
+    meta: M,
+    last_use: u64,
+}
+
+/// Hit/miss/eviction counters for a cache structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Insertions that displaced a valid entry.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, LRU-replaced tag structure with per-entry metadata.
+#[derive(Clone, Debug)]
+pub struct SetAssoc<K, M> {
+    sets: usize,
+    ways: usize,
+    storage: Vec<Vec<Way<K, M>>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<K: CacheKey, M> SetAssoc<K, M> {
+    /// Creates a structure with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache geometry must be nonzero");
+        SetAssoc {
+            sets,
+            ways,
+            storage: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of valid entries currently stored.
+    pub fn len(&self) -> usize {
+        self.storage.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the structure holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.storage.iter().all(Vec::is_empty)
+    }
+
+    fn set_of(&self, key: K) -> usize {
+        (key.as_index() % self.sets as u64) as usize
+    }
+
+    /// Looks up `key`, updating recency and hit/miss statistics. Returns a
+    /// mutable reference to the metadata on a hit.
+    pub fn lookup(&mut self, key: K) -> Option<&mut M> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(key);
+        match self.storage[set].iter_mut().find(|w| w.key == key) {
+            Some(w) => {
+                w.last_use = tick;
+                self.stats.hits += 1;
+                Some(&mut w.meta)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads `key` without updating recency or statistics.
+    pub fn peek(&self, key: K) -> Option<&M> {
+        let set = self.set_of(key);
+        self.storage[set].iter().find(|w| w.key == key).map(|w| &w.meta)
+    }
+
+    /// Mutates `key`'s metadata without updating recency or statistics.
+    pub fn peek_mut(&mut self, key: K) -> Option<&mut M> {
+        let set = self.set_of(key);
+        self.storage[set]
+            .iter_mut()
+            .find(|w| w.key == key)
+            .map(|w| &mut w.meta)
+    }
+
+    /// Inserts `key` with `meta`, returning the evicted `(key, meta)` if the
+    /// set was full. If `key` is already present its metadata is replaced
+    /// (and nothing is evicted).
+    pub fn insert(&mut self, key: K, meta: M) -> Option<(K, M)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(key);
+        let ways = self.ways;
+        let slot = &mut self.storage[set];
+        if let Some(w) = slot.iter_mut().find(|w| w.key == key) {
+            w.meta = meta;
+            w.last_use = tick;
+            return None;
+        }
+        if slot.len() < ways {
+            slot.push(Way {
+                key,
+                meta,
+                last_use: tick,
+            });
+            return None;
+        }
+        // Evict LRU.
+        let victim_idx = slot
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+            .expect("set is full, victim exists");
+        let victim = slot.swap_remove(victim_idx);
+        slot.push(Way {
+            key,
+            meta,
+            last_use: tick,
+        });
+        self.stats.evictions += 1;
+        Some((victim.key, victim.meta))
+    }
+
+    /// Removes `key`, returning its metadata if present.
+    pub fn invalidate(&mut self, key: K) -> Option<M> {
+        let set = self.set_of(key);
+        let slot = &mut self.storage[set];
+        let idx = slot.iter().position(|w| w.key == key)?;
+        Some(slot.swap_remove(idx).meta)
+    }
+
+    /// Removes every entry matched by `pred`, returning the removed pairs.
+    /// Used for page-granularity invalidations (migration shootdowns).
+    pub fn invalidate_matching<F: FnMut(&K, &M) -> bool>(&mut self, mut pred: F) -> Vec<(K, M)> {
+        let mut out = Vec::new();
+        for slot in &mut self.storage {
+            let mut i = 0;
+            while i < slot.len() {
+                if pred(&slot[i].key, &slot[i].meta) {
+                    let w = slot.swap_remove(i);
+                    out.push((w.key, w.meta));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(key, meta)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &M)> {
+        self.storage
+            .iter()
+            .flat_map(|s| s.iter().map(|w| (&w.key, &w.meta)))
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics without disturbing contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+/// Invalidates all 64 lines of `page` from a line-keyed structure,
+/// returning the removed pairs. Cheaper than a full scan: probes only the
+/// sets the page's lines map to.
+pub fn invalidate_page_lines<M>(
+    cache: &mut SetAssoc<LineAddr, M>,
+    page: PageNum,
+) -> Vec<(LineAddr, M)> {
+    let mut out = Vec::new();
+    for i in 0..pipm_types::LINES_PER_PAGE as usize {
+        let line = page.line(i);
+        if let Some(m) = cache.invalidate(line) {
+            out.push((line, m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hit_miss_counting() {
+        let mut c: SetAssoc<u64, ()> = SetAssoc::new(2, 2);
+        assert!(c.lookup(1).is_none());
+        c.insert(1, ());
+        assert!(c.lookup(1).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(1, 3);
+        c.insert(10, 0);
+        c.insert(20, 0);
+        c.insert(30, 0);
+        c.lookup(10); // 20 is now LRU
+        let (victim, _) = c.insert(40, 0).unwrap();
+        assert_eq!(victim, 20);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(1, 2);
+        c.insert(1, 100);
+        assert!(c.insert(1, 200).is_none());
+        assert_eq!(*c.peek(1).unwrap(), 200);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(4, 2);
+        c.insert(5, 7);
+        assert_eq!(c.invalidate(5), Some(7));
+        assert_eq!(c.invalidate(5), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn page_invalidation() {
+        use pipm_types::{LineAddr, PageNum, LINES_PER_PAGE};
+        let mut c: SetAssoc<LineAddr, ()> = SetAssoc::new(16, 8);
+        let page = PageNum::new(3);
+        for i in 0..8 {
+            c.insert(page.line(i * 7 % LINES_PER_PAGE as usize), ());
+        }
+        c.insert(PageNum::new(4).line(0), ());
+        let removed = invalidate_page_lines(&mut c, page);
+        assert_eq!(removed.len(), 8);
+        assert_eq!(c.len(), 1); // the other page's line survives
+    }
+
+    #[test]
+    fn invalidate_matching_predicate() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(4, 4);
+        for k in 0..12 {
+            c.insert(k, k as u32);
+        }
+        let removed = c.invalidate_matching(|_, m| *m % 2 == 0);
+        assert_eq!(removed.len(), 6);
+        assert!(c.iter().all(|(_, m)| m % 2 == 1));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c: SetAssoc<u64, ()> = SetAssoc::new(8, 4);
+        for k in 0..1000u64 {
+            c.insert(k, ());
+        }
+        assert!(c.len() <= c.capacity());
+        assert_eq!(c.capacity(), 32);
+    }
+
+    proptest! {
+        /// The structure never exceeds capacity, and a just-inserted key is
+        /// always present immediately afterwards.
+        #[test]
+        fn prop_insert_then_found(keys in proptest::collection::vec(0u64..512, 1..200)) {
+            let mut c: SetAssoc<u64, u64> = SetAssoc::new(4, 2);
+            for (i, k) in keys.iter().enumerate() {
+                c.insert(*k, i as u64);
+                prop_assert!(c.peek(*k).is_some());
+                prop_assert!(c.len() <= c.capacity());
+            }
+        }
+
+        /// LRU within a set: the victim is never the most recently used key.
+        #[test]
+        fn prop_victim_not_mru(keys in proptest::collection::vec(0u64..64, 2..100)) {
+            let mut c: SetAssoc<u64, ()> = SetAssoc::new(1, 4);
+            let mut last_inserted = None;
+            for k in keys {
+                if let Some((victim, _)) = c.insert(k, ()) {
+                    prop_assert_ne!(Some(victim), last_inserted);
+                }
+                last_inserted = Some(k);
+            }
+        }
+    }
+}

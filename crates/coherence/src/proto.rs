@@ -1,0 +1,888 @@
+//! Pure, executable specification of the PIPM coherence protocol.
+//!
+//! This module encodes the protocol of Figure 9: the baseline hierarchical
+//! MESI-style directory protocol of CXL-DSM (§2.2) plus PIPM's extra states
+//! (**ME**, **I′**) and the six new transitions (§4.3.3, cases ①–⑥).
+//!
+//! The state of one cache line across the whole system is a [`LineState`].
+//! Applying an [`Event`] with [`LineState::step`] performs the transition
+//! and returns the [`Action`]s a hardware implementation would take; the
+//! model checker in `pipm-mcheck` explores all interleavings of events and
+//! checks [`LineState::check_invariants`] in every reachable state.
+//!
+//! Data is abstracted as a monotonically increasing *version number*: each
+//! write creates a new version, and the data-value invariant demands that
+//! the version a read observes equals the most recent write's version.
+
+use pipm_types::{HostId, HostSet};
+use std::fmt;
+
+/// Per-host cache state of a line (the local coherence directory state).
+///
+/// `I′` (migrated-invalid) is not a separate variant: it is `I` combined
+/// with the in-memory bit, exactly as the paper encodes it (Figure 9).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CacheState {
+    /// Invalid (or Migrated-Invalid when the in-memory bit is set and this
+    /// host is the migration target).
+    #[default]
+    I,
+    /// Shared, clean.
+    S,
+    /// Exclusive, clean (MESI E): sole cached copy, matches CXL memory.
+    E,
+    /// Modified, exclusive, dirty; line's home is CXL memory.
+    M,
+    /// Migrated-Modified/Exclusive: the line has been migrated into this
+    /// host's local memory and is cached exclusively here (PIPM).
+    Me,
+}
+
+/// Device (CXL node) directory state of a line.
+///
+/// Absence of an entry is Invalid; Invalid combined with a set in-memory
+/// bit is the device-side I′ state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DevState {
+    /// One or more hosts hold the line in S.
+    Shared(HostSet),
+    /// Exactly one host holds the line in M.
+    Modified(HostId),
+}
+
+/// Protocol events on a single line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Event {
+    /// A load issued by a core of host `h` (Loc-Rd from `h`'s view,
+    /// Inter-Rd from any other host's view).
+    LocRd(HostId),
+    /// A store issued by a core of host `h`.
+    LocWr(HostId),
+    /// Eviction of the line from host `h`'s cache hierarchy (writeback if
+    /// dirty). No-op if the host does not hold the line.
+    Evict(HostId),
+    /// The PIPM migration policy initiates partial migration of the line's
+    /// page toward host `h` (remapping-table update only; no data moves).
+    Initiate(HostId),
+    /// The PIPM migration policy revokes the partial migration (local
+    /// counter reached zero): migrated data returns to CXL memory.
+    Revoke,
+}
+
+/// Observable actions a transition performs, in order. Used by unit tests
+/// and by the timing simulator's cross-validation tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Served by the host's own cache (hit).
+    CacheHit,
+    /// Read from the requester host's local DRAM (migrated line, case ③).
+    ReadLocalMem,
+    /// Write of dirty data into the migration target's local DRAM
+    /// (incremental migration, cases ① and ④).
+    WriteLocalMem,
+    /// Read from CXL DRAM.
+    ReadCxlMem,
+    /// Write back to CXL DRAM.
+    WriteCxlMem,
+    /// Dirty data forwarded from another host's cache (4-hop).
+    ForwardFromOwner(HostId),
+    /// Clean-exclusive owner probed and downgraded (4-hop, no writeback).
+    ProbeOwner(HostId),
+    /// Migrated data fetched from another host's local memory and returned
+    /// to the CXL coherence domain (cases ②, ⑤, ⑥).
+    MigrateBack(HostId),
+    /// Invalidation sent to a sharer host.
+    InvalidateSharer(HostId),
+    /// The in-memory bit was flipped (both copies updated).
+    FlipInMemBit,
+}
+
+/// Error produced when an event is applied in a state where the protocol
+/// specification forbids it (indicates a bug in the caller or the spec).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProtocolError {
+    /// The offending event.
+    pub event: Event,
+    /// Explanation of the violated precondition.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error on {:?}: {}", self.event, self.reason)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Error produced when an invariant check fails.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InvariantViolation(
+    /// Description of the violated invariant.
+    pub &'static str,
+);
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Complete system-wide protocol state of one cache line, with abstract
+/// data versions for verification.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LineState {
+    /// Per-host cache state.
+    pub cache: Vec<CacheState>,
+    /// Device directory state (`None` = Invalid / I′).
+    pub dev: Option<DevState>,
+    /// Page-level migration target: `Some(h)` when the line's page has an
+    /// entry in `h`'s local remapping table.
+    pub migrated_to: Option<HostId>,
+    /// Per-line in-memory bit: the line's current copy lives in
+    /// `migrated_to`'s local DRAM rather than CXL memory.
+    pub inmem_bit: bool,
+    /// Version stored in CXL memory.
+    pub mem_cxl_ver: u64,
+    /// Version stored in the migration target's local memory (meaningful
+    /// only while `inmem_bit`).
+    pub mem_local_ver: u64,
+    /// Version held by each host's cache (meaningful when state ≠ I).
+    pub cache_ver: Vec<u64>,
+    /// Version of the most recent write system-wide.
+    pub latest: u64,
+}
+
+impl LineState {
+    /// Initial state: line uncached everywhere, current in CXL memory,
+    /// not migrated. `hosts` is the number of hosts in the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn new(hosts: usize) -> Self {
+        assert!(hosts > 0);
+        LineState {
+            cache: vec![CacheState::I; hosts],
+            dev: None,
+            migrated_to: None,
+            inmem_bit: false,
+            mem_cxl_ver: 0,
+            mem_local_ver: 0,
+            cache_ver: vec![0; hosts],
+            latest: 0,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether host `h` observes the line in the I′ state (migrated to `h`
+    /// but not cached).
+    pub fn is_i_prime(&self, h: HostId) -> bool {
+        self.migrated_to == Some(h) && self.inmem_bit && self.cache[h.index()] == CacheState::I
+    }
+
+    /// The version a load from host `h` would return, applying the event.
+    /// Convenience wrapper over [`step`](Self::step) for verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] from the transition.
+    pub fn read(&mut self, h: HostId) -> Result<u64, ProtocolError> {
+        self.step(Event::LocRd(h))?;
+        Ok(self.cache_ver[h.index()])
+    }
+
+    /// Applies `event`, returning the actions taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if the event's precondition does not hold
+    /// (e.g. `Initiate` while already migrated). `Evict` of a non-resident
+    /// line and `Revoke` without a migration are tolerated no-ops, mirroring
+    /// how the hardware treats them.
+    pub fn step(&mut self, event: Event) -> Result<Vec<Action>, ProtocolError> {
+        match event {
+            Event::LocRd(h) => self.on_read(h),
+            Event::LocWr(h) => self.on_write(h),
+            Event::Evict(h) => Ok(self.on_evict(h)),
+            Event::Initiate(h) => {
+                if self.migrated_to.is_some() {
+                    return Err(ProtocolError {
+                        event,
+                        reason: "partial migration already initiated",
+                    });
+                }
+                self.migrated_to = Some(h);
+                Ok(vec![])
+            }
+            Event::Revoke => Ok(self.on_revoke()),
+        }
+    }
+
+    fn fill_all_evicted(&self, h: HostId) -> bool {
+        self.cache[h.index()] == CacheState::I
+    }
+
+    fn on_read(&mut self, h: HostId) -> Result<Vec<Action>, ProtocolError> {
+        let hi = h.index();
+        match self.cache[hi] {
+            CacheState::S | CacheState::E | CacheState::M | CacheState::Me => {
+                return Ok(vec![Action::CacheHit])
+            }
+            CacheState::I => {}
+        }
+        debug_assert!(self.fill_all_evicted(h));
+        // Case ③: I′ at the requester — serve from local memory, go to ME.
+        if self.is_i_prime(h) {
+            self.cache[hi] = CacheState::Me;
+            self.cache_ver[hi] = self.mem_local_ver;
+            return Ok(vec![Action::ReadLocalMem]);
+        }
+        // Miss to the device directory.
+        match self.dev {
+            Some(DevState::Modified(owner)) => {
+                // Baseline owner probe: a dirty (M) owner forwards the data
+                // and writes back; a clean-exclusive (E) owner just
+                // downgrades. Requester joins the sharer set either way.
+                let oi = owner.index();
+                let dirty = self.cache[oi] == CacheState::M;
+                debug_assert!(dirty || self.cache[oi] == CacheState::E);
+                let v = self.cache_ver[oi];
+                if dirty {
+                    self.mem_cxl_ver = v;
+                }
+                self.cache[oi] = CacheState::S;
+                let mut set = HostSet::singleton(owner);
+                set.insert(h);
+                self.dev = Some(DevState::Shared(set));
+                self.cache[hi] = CacheState::S;
+                self.cache_ver[hi] = v;
+                Ok(if dirty {
+                    vec![Action::ForwardFromOwner(owner), Action::WriteCxlMem]
+                } else {
+                    vec![Action::ProbeOwner(owner)]
+                })
+            }
+            Some(DevState::Shared(set)) => {
+                let mut set = set;
+                set.insert(h);
+                self.dev = Some(DevState::Shared(set));
+                self.cache[hi] = CacheState::S;
+                self.cache_ver[hi] = self.mem_cxl_ver;
+                Ok(vec![Action::ReadCxlMem])
+            }
+            None => {
+                match self.migrated_to {
+                    Some(o) if o != h && self.inmem_bit => {
+                        let oi = o.index();
+                        if self.cache[oi] == CacheState::Me {
+                            // Case ⑥: Inter-Rd in ME: owner ME→S, data
+                            // written back to CXL, dev I→S{o,h}.
+                            let v = self.cache_ver[oi];
+                            self.mem_cxl_ver = v;
+                            self.inmem_bit = false;
+                            self.cache[oi] = CacheState::S;
+                            let mut set = HostSet::singleton(o);
+                            set.insert(h);
+                            self.dev = Some(DevState::Shared(set));
+                            self.cache[hi] = CacheState::S;
+                            self.cache_ver[hi] = v;
+                            Ok(vec![Action::MigrateBack(o), Action::FlipInMemBit])
+                        } else {
+                            // Case ②: both sides I′: fetch from o's local
+                            // memory, migrate back, dev allocates an
+                            // exclusive entry for the requester.
+                            let v = self.mem_local_ver;
+                            self.mem_cxl_ver = v;
+                            self.inmem_bit = false;
+                            self.dev = Some(DevState::Modified(h));
+                            self.cache[hi] = CacheState::E;
+                            self.cache_ver[hi] = v;
+                            Ok(vec![Action::MigrateBack(o), Action::FlipInMemBit])
+                        }
+                    }
+                    _ => {
+                        // Plain fill from CXL memory; sole accessor gets
+                        // clean-exclusive (MESI E).
+                        self.dev = Some(DevState::Modified(h));
+                        self.cache[hi] = CacheState::E;
+                        self.cache_ver[hi] = self.mem_cxl_ver;
+                        Ok(vec![Action::ReadCxlMem])
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_write(&mut self, h: HostId) -> Result<Vec<Action>, ProtocolError> {
+        let hi = h.index();
+        let mut actions = Vec::new();
+        match self.cache[hi] {
+            CacheState::M | CacheState::Me => {
+                actions.push(Action::CacheHit);
+            }
+            CacheState::E => {
+                // Silent E→M upgrade; the device directory already records
+                // this host as the exclusive owner.
+                self.cache[hi] = CacheState::M;
+                actions.push(Action::CacheHit);
+            }
+            CacheState::S => {
+                // Upgrade: invalidate all other sharers via the device
+                // directory, become the sole modified owner.
+                if let Some(DevState::Shared(set)) = self.dev {
+                    for other in set.iter().filter(|&o| o != h) {
+                        self.cache[other.index()] = CacheState::I;
+                        actions.push(Action::InvalidateSharer(other));
+                    }
+                }
+                self.dev = Some(DevState::Modified(h));
+                self.cache[hi] = CacheState::M;
+            }
+            CacheState::I => {
+                if self.is_i_prime(h) {
+                    // Case ③ (write flavour): fill from local memory into
+                    // ME, then write.
+                    self.cache[hi] = CacheState::Me;
+                    self.cache_ver[hi] = self.mem_local_ver;
+                    actions.push(Action::ReadLocalMem);
+                } else {
+                    match self.dev {
+                        Some(DevState::Modified(owner)) => {
+                            let oi = owner.index();
+                            let dirty = self.cache[oi] == CacheState::M;
+                            let v = self.cache_ver[oi];
+                            if dirty {
+                                self.mem_cxl_ver = v;
+                            }
+                            self.cache[oi] = CacheState::I;
+                            self.dev = Some(DevState::Modified(h));
+                            self.cache[hi] = CacheState::M;
+                            self.cache_ver[hi] = v;
+                            actions.push(if dirty {
+                                Action::ForwardFromOwner(owner)
+                            } else {
+                                Action::ProbeOwner(owner)
+                            });
+                        }
+                        Some(DevState::Shared(set)) => {
+                            for other in set.iter().filter(|&o| o != h) {
+                                self.cache[other.index()] = CacheState::I;
+                                actions.push(Action::InvalidateSharer(other));
+                            }
+                            self.dev = Some(DevState::Modified(h));
+                            self.cache[hi] = CacheState::M;
+                            self.cache_ver[hi] = self.mem_cxl_ver;
+                            actions.push(Action::ReadCxlMem);
+                        }
+                        None => match self.migrated_to {
+                            Some(o) if o != h && self.inmem_bit => {
+                                let oi = o.index();
+                                if self.cache[oi] == CacheState::Me {
+                                    // Case ⑤: Inter-Wr in ME: owner ME→I,
+                                    // writeback, dev I→M(requester).
+                                    let v = self.cache_ver[oi];
+                                    self.mem_cxl_ver = v;
+                                    self.inmem_bit = false;
+                                    self.cache[oi] = CacheState::I;
+                                    self.dev = Some(DevState::Modified(h));
+                                    self.cache[hi] = CacheState::M;
+                                    self.cache_ver[hi] = v;
+                                    actions.push(Action::MigrateBack(o));
+                                    actions.push(Action::FlipInMemBit);
+                                } else {
+                                    // Case ② (write flavour).
+                                    let v = self.mem_local_ver;
+                                    self.mem_cxl_ver = v;
+                                    self.inmem_bit = false;
+                                    self.dev = Some(DevState::Modified(h));
+                                    self.cache[hi] = CacheState::M;
+                                    self.cache_ver[hi] = v;
+                                    actions.push(Action::MigrateBack(o));
+                                    actions.push(Action::FlipInMemBit);
+                                }
+                            }
+                            _ => {
+                                self.dev = Some(DevState::Modified(h));
+                                self.cache[hi] = CacheState::M;
+                                self.cache_ver[hi] = self.mem_cxl_ver;
+                                actions.push(Action::ReadCxlMem);
+                            }
+                        },
+                    }
+                }
+            }
+        }
+        // Perform the write itself.
+        self.latest += 1;
+        self.cache_ver[hi] = self.latest;
+        // A write in S upgraded to M above; in ME it stays ME (dirty).
+        Ok(actions)
+    }
+
+    fn on_evict(&mut self, h: HostId) -> Vec<Action> {
+        let hi = h.index();
+        match self.cache[hi] {
+            CacheState::I => vec![],
+            CacheState::S => {
+                // Clean eviction: notify the device directory (precise
+                // sharer tracking).
+                if let Some(DevState::Shared(set)) = self.dev {
+                    let set = set.without(h);
+                    self.dev = if set.is_empty() {
+                        None
+                    } else {
+                        Some(DevState::Shared(set))
+                    };
+                }
+                self.cache[hi] = CacheState::I;
+                vec![]
+            }
+            CacheState::E => {
+                // Clean-exclusive eviction: no data is stale anywhere. If
+                // the page is partially migrated to this host, PIPM still
+                // installs the (clean) line into local DRAM — the
+                // incremental-migration analogue of case ① for the MESI E
+                // state, costing only a local DRAM write.
+                self.cache[hi] = CacheState::I;
+                self.dev = None;
+                if self.migrated_to == Some(h) {
+                    self.mem_local_ver = self.cache_ver[hi];
+                    self.inmem_bit = true;
+                    vec![Action::WriteLocalMem, Action::FlipInMemBit]
+                } else {
+                    vec![]
+                }
+            }
+            CacheState::M => {
+                let v = self.cache_ver[hi];
+                self.cache[hi] = CacheState::I;
+                self.dev = None;
+                if self.migrated_to == Some(h) {
+                    // Case ①: incremental migration on local writeback:
+                    // data goes to local DRAM, in-memory bits set, state
+                    // becomes I′ on both sides.
+                    self.mem_local_ver = v;
+                    self.inmem_bit = true;
+                    vec![Action::WriteLocalMem, Action::FlipInMemBit]
+                } else {
+                    self.mem_cxl_ver = v;
+                    vec![Action::WriteCxlMem]
+                }
+            }
+            CacheState::Me => {
+                // Case ④: eviction of a migrated line: dirty writeback to
+                // local memory only; state returns to I′.
+                debug_assert_eq!(self.migrated_to, Some(h));
+                debug_assert!(self.inmem_bit);
+                self.mem_local_ver = self.cache_ver[hi];
+                self.cache[hi] = CacheState::I;
+                vec![Action::WriteLocalMem]
+            }
+        }
+    }
+
+    fn on_revoke(&mut self) -> Vec<Action> {
+        let Some(o) = self.migrated_to else {
+            return vec![];
+        };
+        let oi = o.index();
+        let mut actions = Vec::new();
+        // Flush the owner's cached copy first.
+        if self.cache[oi] == CacheState::Me {
+            self.mem_local_ver = self.cache_ver[oi];
+            self.cache[oi] = CacheState::I;
+            actions.push(Action::WriteLocalMem);
+        }
+        if self.inmem_bit {
+            self.mem_cxl_ver = self.mem_local_ver;
+            self.inmem_bit = false;
+            actions.push(Action::WriteCxlMem);
+            actions.push(Action::FlipInMemBit);
+        }
+        self.migrated_to = None;
+        actions
+    }
+
+    /// Checks every protocol invariant, returning the first violation.
+    ///
+    /// Invariants (paper §5.1.4: SWMR and the data-value core of SC):
+    ///
+    /// 1. **SWMR**: at most one host holds M/ME, and if one does, no other
+    ///    host holds the line at all.
+    /// 2. **Value**: the most recent write is observable — held by the
+    ///    M/ME owner if one exists, otherwise by every S copy and by
+    ///    whichever memory currently owns the line (local if `inmem_bit`,
+    ///    CXL otherwise).
+    /// 3. **Directory precision**: the device directory state matches the
+    ///    cache states exactly.
+    /// 4. **Migration consistency**: `inmem_bit ⇒ migrated_to` exists and
+    ///    the device directory holds no entry; `ME ⇒` this host is the
+    ///    migration target with the bit set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let owners: Vec<usize> = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, CacheState::M | CacheState::Me | CacheState::E))
+            .map(|(i, _)| i)
+            .collect();
+        let sharers: Vec<usize> = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, CacheState::S))
+            .map(|(i, _)| i)
+            .collect();
+
+        // 1. SWMR.
+        if owners.len() > 1 {
+            return Err(InvariantViolation("multiple writers (SWMR)"));
+        }
+        if owners.len() == 1 && !sharers.is_empty() {
+            return Err(InvariantViolation("writer coexists with readers (SWMR)"));
+        }
+
+        // 2. Value.
+        if let Some(&o) = owners.first() {
+            if self.cache_ver[o] != self.latest {
+                return Err(InvariantViolation("owner does not hold latest version"));
+            }
+            if self.cache[o] == CacheState::E && self.mem_cxl_ver != self.latest {
+                return Err(InvariantViolation("E owner but CXL memory stale"));
+            }
+        } else {
+            for &s in &sharers {
+                if self.cache_ver[s] != self.latest {
+                    return Err(InvariantViolation("sharer holds stale version"));
+                }
+            }
+            let mem_ver = if self.inmem_bit {
+                self.mem_local_ver
+            } else {
+                self.mem_cxl_ver
+            };
+            if mem_ver != self.latest {
+                return Err(InvariantViolation("memory does not hold latest version"));
+            }
+        }
+
+        // 3. Directory precision.
+        match self.dev {
+            Some(DevState::Modified(o)) => {
+                if !matches!(self.cache[o.index()], CacheState::M | CacheState::E) {
+                    return Err(InvariantViolation("dev M but owner cache not M/E"));
+                }
+                if sharers.iter().any(|&s| s != o.index()) {
+                    return Err(InvariantViolation("dev M but sharers exist"));
+                }
+            }
+            Some(DevState::Shared(set)) => {
+                if set.is_empty() {
+                    return Err(InvariantViolation("dev S with empty sharer set"));
+                }
+                for h in 0..self.hosts() {
+                    let in_set = set.contains(HostId::new(h));
+                    let is_s = self.cache[h] == CacheState::S;
+                    if in_set != is_s {
+                        return Err(InvariantViolation("dev sharer set imprecise"));
+                    }
+                }
+            }
+            None => {
+                if !sharers.is_empty() {
+                    return Err(InvariantViolation("sharers exist without dev entry"));
+                }
+                if self
+                    .cache
+                    .iter()
+                    .any(|s| matches!(s, CacheState::M | CacheState::E))
+                {
+                    return Err(InvariantViolation("M/E copy exists without dev entry"));
+                }
+            }
+        }
+
+        // 4. Migration consistency.
+        if self.inmem_bit {
+            if self.migrated_to.is_none() {
+                return Err(InvariantViolation("in-memory bit set without migration"));
+            }
+            if self.dev.is_some() {
+                return Err(InvariantViolation("migrated line has a dev entry"));
+            }
+        }
+        for (i, s) in self.cache.iter().enumerate() {
+            if *s == CacheState::Me {
+                if self.migrated_to != Some(HostId::new(i)) {
+                    return Err(InvariantViolation("ME at a non-target host"));
+                }
+                if !self.inmem_bit {
+                    return Err(InvariantViolation("ME without in-memory bit"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates every event that is *enabled* (would not return an error)
+    /// in the current state. Used by the model checker for exhaustive
+    /// exploration and deadlock detection.
+    pub fn enabled_events(&self) -> Vec<Event> {
+        let mut evs = Vec::new();
+        for h in 0..self.hosts() {
+            let h = HostId::new(h);
+            evs.push(Event::LocRd(h));
+            evs.push(Event::LocWr(h));
+            if self.cache[h.index()] != CacheState::I {
+                evs.push(Event::Evict(h));
+            }
+            if self.migrated_to.is_none() {
+                evs.push(Event::Initiate(h));
+            }
+        }
+        if self.migrated_to.is_some() {
+            evs.push(Event::Revoke);
+        }
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn checked(line: &mut LineState, e: Event) -> Vec<Action> {
+        let a = line.step(e).unwrap_or_else(|err| panic!("{err}"));
+        line.check_invariants().unwrap_or_else(|v| panic!("{v} after {e:?}"));
+        a
+    }
+
+    #[test]
+    fn read_fills_exclusive_then_shared() {
+        let mut l = LineState::new(2);
+        let a = checked(&mut l, Event::LocRd(h(0)));
+        assert_eq!(a, vec![Action::ReadCxlMem]);
+        assert_eq!(l.cache[0], CacheState::E, "sole reader gets MESI E");
+        let a = checked(&mut l, Event::LocRd(h(1)));
+        assert_eq!(a, vec![Action::ProbeOwner(h(0))]);
+        assert_eq!(l.cache[0], CacheState::S);
+        assert_eq!(l.cache[1], CacheState::S);
+        match l.dev {
+            Some(DevState::Shared(set)) => assert_eq!(set.len(), 2),
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocRd(h(0)));
+        assert_eq!(l.cache[0], CacheState::E);
+        let a = checked(&mut l, Event::LocWr(h(0)));
+        assert_eq!(a, vec![Action::CacheHit], "E→M needs no fabric traffic");
+        assert_eq!(l.cache[0], CacheState::M);
+    }
+
+    #[test]
+    fn clean_exclusive_eviction_migrates_read_only_data() {
+        // The read-only migration path: fill E, evict with a migration
+        // entry → the clean line is installed in local DRAM (I′).
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::Initiate(h(0)));
+        checked(&mut l, Event::LocRd(h(0)));
+        let a = checked(&mut l, Event::Evict(h(0)));
+        assert_eq!(a, vec![Action::WriteLocalMem, Action::FlipInMemBit]);
+        assert!(l.is_i_prime(h(0)));
+        // Subsequent local read is served from local memory.
+        let a = checked(&mut l, Event::LocRd(h(0)));
+        assert_eq!(a, vec![Action::ReadLocalMem]);
+        assert_eq!(l.cache[0], CacheState::Me);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut l = LineState::new(3);
+        checked(&mut l, Event::LocRd(h(0)));
+        checked(&mut l, Event::LocRd(h(1)));
+        let a = checked(&mut l, Event::LocWr(h(2)));
+        assert!(a.contains(&Action::InvalidateSharer(h(0))));
+        assert!(a.contains(&Action::InvalidateSharer(h(1))));
+        assert_eq!(l.cache[2], CacheState::M);
+        assert_eq!(l.dev, Some(DevState::Modified(h(2))));
+    }
+
+    #[test]
+    fn m_state_forwarding_on_remote_read() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        let a = checked(&mut l, Event::LocRd(h(1)));
+        assert!(a.contains(&Action::ForwardFromOwner(h(0))));
+        assert_eq!(l.cache[0], CacheState::S);
+        assert_eq!(l.cache[1], CacheState::S);
+        assert_eq!(l.read(h(1)).unwrap(), l.latest);
+    }
+
+    #[test]
+    fn case1_incremental_migration_on_writeback() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        checked(&mut l, Event::Initiate(h(0)));
+        let a = checked(&mut l, Event::Evict(h(0)));
+        assert_eq!(a, vec![Action::WriteLocalMem, Action::FlipInMemBit]);
+        assert!(l.inmem_bit);
+        assert!(l.is_i_prime(h(0)));
+        assert_eq!(l.dev, None, "migrated line needs no dev entry");
+    }
+
+    #[test]
+    fn case3_local_access_to_migrated_line() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        checked(&mut l, Event::Initiate(h(0)));
+        checked(&mut l, Event::Evict(h(0)));
+        let a = checked(&mut l, Event::LocRd(h(0)));
+        assert_eq!(a, vec![Action::ReadLocalMem]);
+        assert_eq!(l.cache[0], CacheState::Me);
+        assert_eq!(l.cache_ver[0], l.latest);
+    }
+
+    #[test]
+    fn case4_eviction_of_me_goes_local() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        checked(&mut l, Event::Initiate(h(0)));
+        checked(&mut l, Event::Evict(h(0)));
+        checked(&mut l, Event::LocWr(h(0))); // ME, dirty, new version
+        let a = checked(&mut l, Event::Evict(h(0)));
+        assert_eq!(a, vec![Action::WriteLocalMem]);
+        assert!(l.inmem_bit);
+        assert_eq!(l.mem_local_ver, l.latest);
+    }
+
+    #[test]
+    fn case2_interhost_read_migrates_back() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        checked(&mut l, Event::Initiate(h(0)));
+        checked(&mut l, Event::Evict(h(0))); // I′ both sides
+        let a = checked(&mut l, Event::LocRd(h(1)));
+        assert!(a.contains(&Action::MigrateBack(h(0))));
+        assert!(!l.inmem_bit);
+        assert_eq!(l.cache_ver[1], l.latest);
+        assert_eq!(l.mem_cxl_ver, l.latest);
+    }
+
+    #[test]
+    fn case5_interhost_write_in_me() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        checked(&mut l, Event::Initiate(h(0)));
+        checked(&mut l, Event::Evict(h(0)));
+        checked(&mut l, Event::LocRd(h(0))); // back to ME
+        let a = checked(&mut l, Event::LocWr(h(1)));
+        assert!(a.contains(&Action::MigrateBack(h(0))));
+        assert_eq!(l.cache[0], CacheState::I);
+        assert_eq!(l.cache[1], CacheState::M);
+        assert!(!l.inmem_bit);
+    }
+
+    #[test]
+    fn case6_interhost_read_in_me_downgrades() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        checked(&mut l, Event::Initiate(h(0)));
+        checked(&mut l, Event::Evict(h(0)));
+        checked(&mut l, Event::LocWr(h(0))); // ME dirty
+        let a = checked(&mut l, Event::LocRd(h(1)));
+        assert!(a.contains(&Action::MigrateBack(h(0))));
+        assert_eq!(l.cache[0], CacheState::S);
+        assert_eq!(l.cache[1], CacheState::S);
+        assert_eq!(l.cache_ver[1], l.latest);
+    }
+
+    #[test]
+    fn revoke_restores_cxl_copy() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocWr(h(0)));
+        checked(&mut l, Event::Initiate(h(0)));
+        checked(&mut l, Event::Evict(h(0)));
+        checked(&mut l, Event::LocWr(h(0))); // ME dirty again
+        let a = checked(&mut l, Event::Revoke);
+        assert!(a.contains(&Action::WriteCxlMem));
+        assert!(!l.inmem_bit);
+        assert_eq!(l.migrated_to, None);
+        assert_eq!(l.mem_cxl_ver, l.latest);
+        // Subsequent read from the other host sees the latest data.
+        assert_eq!(l.read(h(1)).unwrap(), l.latest);
+    }
+
+    #[test]
+    fn double_initiate_is_an_error() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::Initiate(h(0)));
+        assert!(l.step(Event::Initiate(h(1))).is_err());
+    }
+
+    #[test]
+    fn evict_of_absent_line_is_noop() {
+        let mut l = LineState::new(2);
+        assert_eq!(l.step(Event::Evict(h(1))).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn upgrade_from_s() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocRd(h(0)));
+        checked(&mut l, Event::LocRd(h(1)));
+        checked(&mut l, Event::LocWr(h(0)));
+        assert_eq!(l.cache[0], CacheState::M);
+        assert_eq!(l.cache[1], CacheState::I);
+    }
+
+    #[test]
+    fn clean_eviction_updates_sharers_precisely() {
+        let mut l = LineState::new(2);
+        checked(&mut l, Event::LocRd(h(0)));
+        checked(&mut l, Event::LocRd(h(1)));
+        checked(&mut l, Event::Evict(h(0)));
+        match l.dev {
+            Some(DevState::Shared(set)) => {
+                assert!(!set.contains(h(0)));
+                assert!(set.contains(h(1)));
+            }
+            ref other => panic!("{other:?}"),
+        }
+        checked(&mut l, Event::Evict(h(1)));
+        assert_eq!(l.dev, None);
+    }
+
+    #[test]
+    fn random_walk_preserves_invariants() {
+        // A long deterministic pseudo-random walk over 3 hosts.
+        let mut l = LineState::new(3);
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for step in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let evs = l.enabled_events();
+            let e = evs[(x >> 33) as usize % evs.len()];
+            l.step(e).unwrap_or_else(|err| panic!("step {step}: {err}"));
+            l.check_invariants()
+                .unwrap_or_else(|v| panic!("step {step} {e:?}: {v}"));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Software migration hints — the application-level interface the paper
+//! sketches in §6 ("applications can … explicitly enable or disable
+//! incremental migration for specific pages based on program semantics").
+//!
+//! Hints are advisory inputs to the PIPM majority-vote policy:
+//!
+//! * [`MigrationHints::pin_to_cxl`] — exclude a page from partial
+//!   migration entirely (e.g. data the program knows is uniformly shared,
+//!   like a lock table or a message queue). The vote is bypassed, so the
+//!   page can never suffer migration side effects.
+//! * [`MigrationHints::prefer`] — declare a page's natural owner (e.g. a
+//!   partitioned shard). The first qualifying access from that host
+//!   initiates partial migration without waiting for the vote threshold,
+//!   acting as a software prefetch of locality.
+//!
+//! Hints are page-granular, can be changed at any time, and never affect
+//! correctness — only placement. The simulator applies them inside the
+//! device-side policy step.
+//!
+//! # Example
+//!
+//! ```
+//! use pipm_core::MigrationHints;
+//! use pipm_types::{HostId, PageNum};
+//!
+//! let mut hints = MigrationHints::new();
+//! hints.pin_to_cxl(PageNum::new(7));
+//! hints.prefer(PageNum::new(9), HostId::new(2));
+//! assert!(hints.is_pinned(PageNum::new(7)));
+//! assert_eq!(hints.preferred(PageNum::new(9)), Some(HostId::new(2)));
+//! ```
+
+use pipm_types::{HostId, PageNum};
+use std::collections::{HashMap, HashSet};
+
+/// Advisory page-placement hints supplied by the application (paper §6).
+#[derive(Clone, Debug, Default)]
+pub struct MigrationHints {
+    pinned: HashSet<PageNum>,
+    preferred: HashMap<PageNum, HostId>,
+}
+
+impl MigrationHints {
+    /// Creates an empty hint set (all pages policy-managed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins `page` to CXL memory: partial migration is never initiated for
+    /// it. Removes any ownership preference.
+    pub fn pin_to_cxl(&mut self, page: PageNum) {
+        self.preferred.remove(&page);
+        self.pinned.insert(page);
+    }
+
+    /// Declares `host` the preferred owner of `page`: its first qualifying
+    /// access initiates partial migration immediately. Clears a pin.
+    pub fn prefer(&mut self, page: PageNum, host: HostId) {
+        self.pinned.remove(&page);
+        self.preferred.insert(page, host);
+    }
+
+    /// Removes all hints for `page` (back to pure majority-vote control).
+    pub fn clear(&mut self, page: PageNum) {
+        self.pinned.remove(&page);
+        self.preferred.remove(&page);
+    }
+
+    /// Whether `page` is pinned to CXL memory.
+    pub fn is_pinned(&self, page: PageNum) -> bool {
+        self.pinned.contains(&page)
+    }
+
+    /// The preferred owner of `page`, if declared.
+    pub fn preferred(&self, page: PageNum) -> Option<HostId> {
+        self.preferred.get(&page).copied()
+    }
+
+    /// Number of hinted pages (pins + preferences).
+    pub fn len(&self) -> usize {
+        self.pinned.len() + self.preferred.len()
+    }
+
+    /// Whether no hints are set.
+    pub fn is_empty(&self) -> bool {
+        self.pinned.is_empty() && self.preferred.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageNum {
+        PageNum::new(i)
+    }
+
+    #[test]
+    fn pin_and_prefer_are_mutually_exclusive() {
+        let mut h = MigrationHints::new();
+        h.pin_to_cxl(p(1));
+        assert!(h.is_pinned(p(1)));
+        h.prefer(p(1), HostId::new(3));
+        assert!(!h.is_pinned(p(1)));
+        assert_eq!(h.preferred(p(1)), Some(HostId::new(3)));
+        h.pin_to_cxl(p(1));
+        assert!(h.is_pinned(p(1)));
+        assert_eq!(h.preferred(p(1)), None);
+    }
+
+    #[test]
+    fn clear_restores_policy_control() {
+        let mut h = MigrationHints::new();
+        h.prefer(p(2), HostId::new(0));
+        h.pin_to_cxl(p(3));
+        assert_eq!(h.len(), 2);
+        h.clear(p(2));
+        h.clear(p(3));
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! PIPM's two-level remapping structures (paper §4.2, §4.4, Figure 7).
+//!
+//! * The **global remapping table** lives in CXL DRAM: one entry per
+//!   CXL-DSM page holding a 5-bit current host ID, a 5-bit candidate host
+//!   ID, and a 6-bit majority-vote counter (2 bytes/entry). A 16 KB 8-way
+//!   **global remapping cache** on the CXL device fronts it (4-cycle RT).
+//! * Each host's **local remapping table** lives in its local DRAM as a
+//!   two-level radix table: one entry per partially migrated page holding
+//!   a 28-bit local PFN and a 4-bit local counter (4 bytes/entry), plus a
+//!   64-bit per-line migrated bitmap held with the page's in-memory bits.
+//!   A 1 MB 8-way **local remapping cache** on the host's root complex
+//!   fronts it (8-cycle RT).
+//!
+//! The caches here model *presence* (hit/miss) for timing; the backing
+//! tables are exact. Timing is charged by the caller from the
+//! [`LookupResult`]s.
+
+use pipm_cache::SetAssoc;
+use pipm_types::{Cycle, HostId, PageNum, PipmConfig};
+use std::collections::HashMap;
+
+/// Result of a remapping-cache access: how long the lookup took and
+/// whether it missed (requiring a DRAM table walk, already included in the
+/// latency decision made by the caller).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LookupResult {
+    /// Structure latency in cycles (cache hit latency; the caller adds the
+    /// DRAM walk on a miss).
+    pub latency: Cycle,
+    /// Whether the lookup hit in the on-die cache.
+    pub cache_hit: bool,
+}
+
+/// One global remapping table entry (2 bytes in hardware).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GlobalEntry {
+    /// Host currently holding a partial migration of this page, if any.
+    pub current_host: Option<HostId>,
+    /// Majority-vote candidate host.
+    pub candidate: Option<HostId>,
+    /// 6-bit majority-vote counter.
+    pub counter: u8,
+}
+
+/// The global remapping table plus its on-die cache.
+#[derive(Clone, Debug)]
+pub struct GlobalRemap {
+    table: HashMap<PageNum, GlobalEntry>,
+    cache: SetAssoc<PageNum, ()>,
+    hit_latency: Cycle,
+    counter_max: u8,
+}
+
+impl GlobalRemap {
+    /// Creates the table with the configured cache geometry. A cache size
+    /// of `u64::MAX` (or anything yielding ≥ 2²⁴ entries) models the
+    /// "infinite cache" point of Figure 17.
+    pub fn new(cfg: &PipmConfig) -> Self {
+        let entries = (cfg.global_remap_cache_bytes / 2).clamp(8, 1 << 24) as usize;
+        let ways = cfg.global_remap_cache_ways.min(entries);
+        GlobalRemap {
+            table: HashMap::new(),
+            cache: SetAssoc::new((entries / ways).max(1), ways),
+            hit_latency: cfg.global_remap_cache_latency,
+            counter_max: cfg.global_counter_max,
+        }
+    }
+
+    /// Performs the cache lookup for `page`, filling on miss.
+    pub fn lookup(&mut self, page: PageNum) -> LookupResult {
+        let hit = self.cache.lookup(page).is_some();
+        if !hit {
+            self.cache.insert(page, ());
+        }
+        LookupResult {
+            latency: self.hit_latency,
+            cache_hit: hit,
+        }
+    }
+
+    /// Reads the entry for `page` (zero entry if never touched).
+    pub fn entry(&self, page: PageNum) -> GlobalEntry {
+        self.table.get(&page).copied().unwrap_or_default()
+    }
+
+    /// Applies one Boyer–Moore vote from `host`; returns `true` when the
+    /// counter reaches `threshold` while `host` is the candidate (the
+    /// partial-migration trigger, Figure 7 ②). Saturates at the 6-bit max.
+    pub fn vote(&mut self, page: PageNum, host: HostId, threshold: u8) -> bool {
+        let max = self.counter_max;
+        let e = self.table.entry(page).or_default();
+        if e.counter == 0 || e.candidate.is_none() {
+            e.candidate = Some(host);
+            e.counter = 1;
+        } else if e.candidate == Some(host) {
+            e.counter = (e.counter + 1).min(max);
+        } else {
+            e.counter -= 1;
+        }
+        e.candidate == Some(host) && e.counter >= threshold
+    }
+
+    /// Marks `page` as partially migrated to `host` and resets the vote.
+    pub fn set_current(&mut self, page: PageNum, host: HostId) {
+        let e = self.table.entry(page).or_default();
+        e.current_host = Some(host);
+        e.counter = 0;
+        e.candidate = None;
+    }
+
+    /// Clears the migration (revocation, Figure 7 ⑥).
+    pub fn clear_current(&mut self, page: PageNum) {
+        if let Some(e) = self.table.get_mut(&page) {
+            e.current_host = None;
+            e.counter = 0;
+            e.candidate = None;
+        }
+    }
+
+    /// Host a page is currently migrated to, if any.
+    pub fn current(&self, page: PageNum) -> Option<HostId> {
+        self.table.get(&page).and_then(|e| e.current_host)
+    }
+
+    /// Cache hit/miss statistics.
+    pub fn cache_stats(&self) -> pipm_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Bytes of CXL DRAM consumed by the in-memory table (2 B/entry over
+    /// the touched pages; the paper provisions 0.05% of CXL-DSM size).
+    pub fn table_bytes(&self) -> u64 {
+        self.table.len() as u64 * 2
+    }
+}
+
+/// One local remapping table entry (4 bytes in hardware, plus the per-line
+/// in-memory bits that hardware keeps in DRAM ECC space — modelled here as
+/// a 64-bit bitmap).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LocalEntry {
+    /// 28-bit local PFN the page's migrated lines live at.
+    pub local_pfn: u32,
+    /// 4-bit local counter (initialized to the migration threshold).
+    pub counter: u8,
+    /// Per-line migrated bitmap (the in-memory bits of this page's lines).
+    pub line_bits: u64,
+}
+
+impl LocalEntry {
+    /// Number of lines currently migrated into local memory.
+    pub fn migrated_lines(&self) -> u32 {
+        self.line_bits.count_ones()
+    }
+
+    /// Whether line `idx` (0..64) is migrated.
+    pub fn line_migrated(&self, idx: usize) -> bool {
+        self.line_bits & (1 << idx) != 0
+    }
+}
+
+/// A host's local remapping table plus its on-die (root-complex) cache.
+#[derive(Clone, Debug)]
+pub struct LocalRemap {
+    table: HashMap<PageNum, LocalEntry>,
+    cache: SetAssoc<PageNum, ()>,
+    hit_latency: Cycle,
+    counter_max: u8,
+    next_pfn: u32,
+    free_pfns: Vec<u32>,
+    capacity_pages: usize,
+    peak_pages: u64,
+    peak_lines: u64,
+    lines_resident: u64,
+}
+
+impl LocalRemap {
+    /// Creates the table with the configured cache geometry and a local
+    /// memory capacity of `capacity_pages` migrated pages.
+    pub fn new(cfg: &PipmConfig, capacity_pages: usize) -> Self {
+        let entries = (cfg.local_remap_cache_bytes / 4).clamp(8, 1 << 26) as usize;
+        let ways = cfg.local_remap_cache_ways.min(entries);
+        LocalRemap {
+            table: HashMap::new(),
+            cache: SetAssoc::new((entries / ways).max(1), ways),
+            hit_latency: cfg.local_remap_cache_latency,
+            counter_max: cfg.local_counter_max,
+            next_pfn: 0,
+            free_pfns: Vec::new(),
+            capacity_pages,
+            peak_pages: 0,
+            peak_lines: 0,
+            lines_resident: 0,
+        }
+    }
+
+    /// Performs the cache lookup for `page`, filling on miss.
+    pub fn lookup(&mut self, page: PageNum) -> LookupResult {
+        let hit = self.cache.lookup(page).is_some();
+        if !hit {
+            self.cache.insert(page, ());
+        }
+        LookupResult {
+            latency: self.hit_latency,
+            cache_hit: hit,
+        }
+    }
+
+    /// The entry for `page`, if partially migrated here.
+    pub fn entry(&self, page: PageNum) -> Option<&LocalEntry> {
+        self.table.get(&page)
+    }
+
+    /// Number of pages with local entries.
+    pub fn resident_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether a new partial migration can be initiated (capacity).
+    pub fn has_capacity(&self) -> bool {
+        self.table.len() < self.capacity_pages
+    }
+
+    /// Initiates partial migration of `page` here (Figure 7 ③): allocates
+    /// a local PFN and installs the entry with `counter = threshold`.
+    /// Returns `false` (and does nothing) if at capacity or already
+    /// present.
+    pub fn initiate(&mut self, page: PageNum, threshold: u8) -> bool {
+        if !self.has_capacity() || self.table.contains_key(&page) {
+            return false;
+        }
+        let pfn = self.free_pfns.pop().unwrap_or_else(|| {
+            let p = self.next_pfn;
+            self.next_pfn += 1;
+            p
+        });
+        self.table.insert(
+            page,
+            LocalEntry {
+                local_pfn: pfn,
+                counter: threshold,
+                line_bits: 0,
+            },
+        );
+        self.peak_pages = self.peak_pages.max(self.table.len() as u64);
+        true
+    }
+
+    /// Records a local access to a partially migrated page (increments the
+    /// local counter, saturating at the 4-bit max).
+    pub fn local_access(&mut self, page: PageNum) {
+        let max = self.counter_max;
+        if let Some(e) = self.table.get_mut(&page) {
+            e.counter = (e.counter + 1).min(max);
+        }
+    }
+
+    /// Records an inter-host access to a partially migrated page
+    /// (decrements the local counter). Returns `true` when the counter
+    /// reaches zero — the revocation trigger (Figure 7 ⑥).
+    pub fn interhost_access(&mut self, page: PageNum) -> bool {
+        if let Some(e) = self.table.get_mut(&page) {
+            e.counter = e.counter.saturating_sub(1);
+            e.counter == 0
+        } else {
+            false
+        }
+    }
+
+    /// Sets line `idx`'s migrated bit (incremental migration).
+    pub fn set_line(&mut self, page: PageNum, idx: usize) {
+        if let Some(e) = self.table.get_mut(&page) {
+            if e.line_bits & (1 << idx) == 0 {
+                e.line_bits |= 1 << idx;
+                self.lines_resident += 1;
+                self.peak_lines = self.peak_lines.max(self.lines_resident);
+            }
+        }
+    }
+
+    /// Clears line `idx`'s migrated bit (migration back to CXL).
+    pub fn clear_line(&mut self, page: PageNum, idx: usize) {
+        if let Some(e) = self.table.get_mut(&page) {
+            if e.line_bits & (1 << idx) != 0 {
+                e.line_bits &= !(1 << idx);
+                self.lines_resident -= 1;
+            }
+        }
+    }
+
+    /// Removes the entry (revocation), returning it. Frees the PFN.
+    pub fn revoke(&mut self, page: PageNum) -> Option<LocalEntry> {
+        let e = self.table.remove(&page)?;
+        self.free_pfns.push(e.local_pfn);
+        self.lines_resident -= u64::from(e.migrated_lines());
+        self.cache.invalidate(page);
+        Some(e)
+    }
+
+    /// Peak pages ever resident (Fig. 13 `PIPM-page`).
+    pub fn peak_pages(&self) -> u64 {
+        self.peak_pages
+    }
+
+    /// Peak lines ever resident (Fig. 13 `PIPM-line`).
+    pub fn peak_lines(&self) -> u64 {
+        self.peak_lines
+    }
+
+    /// Cache hit/miss statistics.
+    pub fn cache_stats(&self) -> pipm_cache::CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PipmConfig {
+        PipmConfig::default()
+    }
+
+    fn h(i: usize) -> HostId {
+        HostId::new(i)
+    }
+
+    fn p(i: u64) -> PageNum {
+        PageNum::new(i)
+    }
+
+    #[test]
+    fn boyer_moore_vote() {
+        let mut g = GlobalRemap::new(&cfg());
+        // 8 votes from the same host cross the default threshold.
+        for i in 0..7 {
+            assert!(!g.vote(p(1), h(0), 8), "vote {i} must not trigger");
+        }
+        assert!(g.vote(p(1), h(0), 8));
+    }
+
+    #[test]
+    fn contested_votes_cancel() {
+        let mut g = GlobalRemap::new(&cfg());
+        for _ in 0..100 {
+            assert!(!g.vote(p(1), h(0), 8));
+            assert!(!g.vote(p(1), h(1), 8));
+        }
+        // Candidate flips when the counter hits zero.
+        let e = g.entry(p(1));
+        assert!(e.counter <= 1);
+    }
+
+    #[test]
+    fn counter_saturates_at_six_bits() {
+        let mut g = GlobalRemap::new(&cfg());
+        for _ in 0..200 {
+            g.vote(p(2), h(0), 200); // threshold unreachable
+        }
+        assert_eq!(g.entry(p(2)).counter, 63);
+    }
+
+    #[test]
+    fn current_host_lifecycle() {
+        let mut g = GlobalRemap::new(&cfg());
+        assert_eq!(g.current(p(3)), None);
+        g.set_current(p(3), h(2));
+        assert_eq!(g.current(p(3)), Some(h(2)));
+        assert_eq!(g.entry(p(3)).counter, 0);
+        g.clear_current(p(3));
+        assert_eq!(g.current(p(3)), None);
+    }
+
+    #[test]
+    fn global_cache_hits_after_fill() {
+        let mut g = GlobalRemap::new(&cfg());
+        assert!(!g.lookup(p(9)).cache_hit);
+        assert!(g.lookup(p(9)).cache_hit);
+        assert_eq!(g.lookup(p(9)).latency, 4);
+    }
+
+    #[test]
+    fn local_initiate_and_bits() {
+        let mut l = LocalRemap::new(&cfg(), 100);
+        assert!(l.initiate(p(1), 8));
+        assert!(!l.initiate(p(1), 8), "double initiation rejected");
+        l.set_line(p(1), 5);
+        l.set_line(p(1), 5); // idempotent
+        assert_eq!(l.entry(p(1)).unwrap().migrated_lines(), 1);
+        assert!(l.entry(p(1)).unwrap().line_migrated(5));
+        l.clear_line(p(1), 5);
+        assert_eq!(l.entry(p(1)).unwrap().migrated_lines(), 0);
+    }
+
+    #[test]
+    fn local_counter_drives_revocation() {
+        let mut l = LocalRemap::new(&cfg(), 100);
+        l.initiate(p(1), 2);
+        assert!(!l.interhost_access(p(1)));
+        assert!(l.interhost_access(p(1)), "counter hit zero");
+        let e = l.revoke(p(1)).unwrap();
+        assert_eq!(e.counter, 0);
+        assert!(l.entry(p(1)).is_none());
+    }
+
+    #[test]
+    fn local_counter_saturates_at_four_bits() {
+        let mut l = LocalRemap::new(&cfg(), 100);
+        l.initiate(p(1), 8);
+        for _ in 0..100 {
+            l.local_access(p(1));
+        }
+        assert_eq!(l.entry(p(1)).unwrap().counter, 15);
+    }
+
+    #[test]
+    fn capacity_blocks_initiation() {
+        let mut l = LocalRemap::new(&cfg(), 2);
+        assert!(l.initiate(p(1), 8));
+        assert!(l.initiate(p(2), 8));
+        assert!(!l.initiate(p(3), 8));
+        l.revoke(p(1));
+        assert!(l.initiate(p(3), 8), "revocation frees capacity");
+    }
+
+    #[test]
+    fn pfn_reuse_after_revoke() {
+        let mut l = LocalRemap::new(&cfg(), 10);
+        l.initiate(p(1), 8);
+        let pfn = l.entry(p(1)).unwrap().local_pfn;
+        l.revoke(p(1));
+        l.initiate(p(2), 8);
+        assert_eq!(l.entry(p(2)).unwrap().local_pfn, pfn);
+    }
+
+    #[test]
+    fn footprint_peaks_track_history() {
+        let mut l = LocalRemap::new(&cfg(), 10);
+        l.initiate(p(1), 8);
+        l.set_line(p(1), 0);
+        l.set_line(p(1), 1);
+        l.revoke(p(1));
+        assert_eq!(l.peak_pages(), 1);
+        assert_eq!(l.peak_lines(), 2);
+        assert_eq!(l.resident_pages(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! High-level experiment runner: one call per (workload, scheme) pair.
+
+use crate::system::System;
+use pipm_types::{SchemeKind, SystemConfig, SystemStats};
+use pipm_workloads::{Workload, WorkloadParams};
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload simulated.
+    pub workload: Workload,
+    /// Scheme simulated.
+    pub scheme: SchemeKind,
+    /// Collected statistics (post-warm-up).
+    pub stats: SystemStats,
+    /// The exact configuration used (footprint filled in by the workload).
+    pub cfg: SystemConfig,
+}
+
+impl RunResult {
+    /// Execution time in cycles (maximum core clock).
+    pub fn exec_cycles(&self) -> u64 {
+        self.stats.exec_cycles()
+    }
+
+    /// Speedup of this run relative to `baseline` (>1 means faster).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        if self.exec_cycles() == 0 {
+            0.0
+        } else {
+            baseline.exec_cycles() as f64 / self.exec_cycles() as f64
+        }
+    }
+
+    /// Local memory hit rate over shared-data LLC misses (Fig. 11).
+    pub fn local_hit_rate(&self) -> f64 {
+        self.stats.local_hit_rate()
+    }
+
+    /// Fraction of harmful promotions (Fig. 5); zero for schemes that do
+    /// not use kernel migration.
+    pub fn harmful_fraction(&self) -> f64 {
+        self.stats.migration.harmful_fraction()
+    }
+}
+
+/// Runs `workload` under `scheme` with the given base configuration and
+/// parameters, returning the result. The workload overrides
+/// `cfg.shared_bytes` with its scaled footprint.
+///
+/// # Example
+///
+/// ```
+/// use pipm_core::run_one;
+/// use pipm_types::{SchemeKind, SystemConfig};
+/// use pipm_workloads::{Workload, WorkloadParams};
+///
+/// let params = WorkloadParams { refs_per_core: 2_000, seed: 3 };
+/// let r = run_one(Workload::Cc, SchemeKind::Native, SystemConfig::default(), &params);
+/// assert!(r.exec_cycles() > 0);
+/// ```
+pub fn run_one(
+    workload: Workload,
+    scheme: SchemeKind,
+    mut cfg: SystemConfig,
+    params: &WorkloadParams,
+) -> RunResult {
+    let streams = workload.streams(&mut cfg, params);
+    let mut sys = System::new(cfg.clone(), scheme);
+    let stats = sys.run(streams, params.refs_per_core);
+    RunResult {
+        workload,
+        scheme,
+        stats,
+        cfg,
+    }
+}
+
+/// Runs `workload` under every scheme in `schemes`, returning results in
+/// order. Convenience for the figure harnesses.
+pub fn run_schemes(
+    workload: Workload,
+    schemes: &[SchemeKind],
+    cfg: &SystemConfig,
+    params: &WorkloadParams,
+) -> Vec<RunResult> {
+    schemes
+        .iter()
+        .map(|&s| run_one(workload, s, cfg.clone(), params))
+        .collect()
+}

@@ -1,0 +1,1317 @@
+//! The multi-host CXL-DSM system simulator.
+//!
+//! Ties together every substrate: per-core ROB timing models
+//! (`pipm-cpu`), L1/LLC caches (`pipm-cache`), local and CXL DRAM
+//! (`pipm-mem`), the CXL fabric (`pipm-fabric`), the device coherence
+//! directory (`pipm-coherence`), the PIPM remapping structures
+//! ([`crate::remap`]), and the baseline migration schemes
+//! (`pipm-baselines`).
+//!
+//! One [`System`] simulates one scheme on one workload. Cores are advanced
+//! in global-clock order (min-heap), so interactions on shared state occur
+//! in near-global time order and runs are fully deterministic.
+
+use crate::harm::HarmTracker;
+use crate::remap::{GlobalRemap, LocalRemap};
+use pipm_baselines::{
+    HememPolicy, HotnessPolicy, HwStaticMap, MemtisPolicy, NomadPolicy, OsSkewPolicy,
+};
+use pipm_cache::SetAssoc;
+use pipm_coherence::{DevState, DeviceDirectory, Recall};
+use pipm_cpu::{AccessStream, CoreModel};
+use pipm_fabric::{Dir, Fabric};
+use pipm_mem::Dram;
+use pipm_types::{
+    AccessClass, Addr, Cycle, HostId, LineAddr, PageNum, SchemeKind, SystemConfig, SystemStats,
+    LINES_PER_PAGE, PAGE_SIZE,
+};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Coherence state of a line in a host's LLC (the local coherence
+/// directory view; L1 copies are tracked separately as inclusive subsets).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LState {
+    /// Shared, clean (CXL coherence domain).
+    S,
+    /// Exclusive, clean.
+    E,
+    /// Modified (dirty flag is implied but also tracked for L1 folds).
+    M,
+    /// Migrated-exclusive (PIPM ME): backed by local DRAM.
+    Me,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LlcMeta {
+    state: LState,
+    dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct L1Meta {
+    dirty: bool,
+}
+
+/// Per-host hardware state.
+struct Host {
+    l1: Vec<SetAssoc<LineAddr, L1Meta>>,
+    llc: SetAssoc<LineAddr, LlcMeta>,
+    dram: Dram,
+    /// PIPM / HW-static local remapping table (unused by other schemes).
+    remap: LocalRemap,
+    /// Kernel schemes: pages currently resident in this host's local DRAM.
+    resident_pages: u64,
+    peak_resident_pages: u64,
+}
+
+/// State specific to the active scheme.
+enum SchemeState {
+    /// Native CXL-DSM: no migration.
+    Native,
+    /// Local-only upper bound: every access is host-local.
+    Ideal,
+    /// Kernel page migration driven by a hotness policy.
+    Kernel(KernelState),
+    /// PIPM or HW-static: incremental line migration via PIPM coherence.
+    PipmLike {
+        global: GlobalRemap,
+        static_map: Option<HwStaticMap>,
+    },
+}
+
+struct KernelState {
+    policy: Box<dyn HotnessPolicy>,
+    next_interval: Cycle,
+    harm: HarmTracker,
+    /// Initiator-cost multiplier (<1 for Nomad's asynchronous migration).
+    init_mult: f64,
+    /// Token bucket granting migration bandwidth (pages) per interval.
+    tokens: f64,
+}
+
+/// The full-system simulator for one (scheme, workload) run.
+///
+/// # Example
+///
+/// ```
+/// use pipm_core::System;
+/// use pipm_types::{SchemeKind, SystemConfig};
+/// use pipm_workloads::{Workload, WorkloadParams};
+///
+/// let mut cfg = SystemConfig::default();
+/// let params = WorkloadParams { refs_per_core: 5_000, seed: 1 };
+/// let streams = Workload::Bfs.streams(&mut cfg, &params);
+/// let mut sys = System::new(cfg, SchemeKind::Pipm);
+/// let stats = sys.run(streams, params.refs_per_core);
+/// assert!(stats.exec_cycles() > 0);
+/// ```
+pub struct System {
+    cfg: SystemConfig,
+    kind: SchemeKind,
+    cores: Vec<CoreModel>,
+    hosts: Vec<Host>,
+    fabric: Fabric,
+    cxl_dram: Dram,
+    devdir: DeviceDirectory,
+    scheme: SchemeState,
+    stats: SystemStats,
+    processed: u64,
+    warmup_refs: u64,
+    warmed: bool,
+    warmup_clock: Vec<Cycle>,
+    warmup_instr: Vec<u64>,
+    /// Kernel schemes: current location of migrated pages (`None` = CXL).
+    page_location: HashMap<PageNum, HostId>,
+    /// Application-supplied placement hints (paper §6), PIPM only.
+    hints: crate::MigrationHints,
+}
+
+/// Base offset used for remapping-table walk addresses so table traffic
+/// occupies DRAM without aliasing workload rows.
+const TABLE_WALK_BASE: u64 = 1 << 44;
+
+/// Bytes of a data-carrying CXL message: 64 B payload + 16 B header.
+const DATA_MSG: u64 = 80;
+
+impl System {
+    /// Builds a system for `scheme` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: SystemConfig, scheme: SchemeKind) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let capacity_pages = (cfg.local_capacity_bytes / PAGE_SIZE) as usize;
+        let budget = 0; // replaced per interval by the token bucket
+        let threshold = cfg.pipm.migration_threshold;
+        let hosts: Vec<Host> = (0..cfg.hosts)
+            .map(|_| Host {
+                l1: (0..cfg.cores_per_host)
+                    .map(|_| SetAssoc::new(cfg.l1d.sets(), cfg.l1d.ways))
+                    .collect(),
+                llc: {
+                    let bytes = cfg.host_llc_bytes();
+                    let lines = (bytes / 64) as usize;
+                    SetAssoc::new(lines / cfg.llc_per_core.ways, cfg.llc_per_core.ways)
+                },
+                dram: Dram::new(&cfg.local_dram),
+                remap: LocalRemap::new(&cfg.pipm, capacity_pages),
+                resident_pages: 0,
+                peak_resident_pages: 0,
+            })
+            .collect();
+        let scheme_state = match scheme {
+            SchemeKind::Native => SchemeState::Native,
+            SchemeKind::LocalOnly => SchemeState::Ideal,
+            SchemeKind::Pipm => SchemeState::PipmLike {
+                global: GlobalRemap::new(&cfg.pipm),
+                static_map: None,
+            },
+            SchemeKind::HwStatic => SchemeState::PipmLike {
+                global: GlobalRemap::new(&cfg.pipm),
+                static_map: Some(HwStaticMap::new(cfg.hosts)),
+            },
+            kernel => {
+                let policy: Box<dyn HotnessPolicy> = match kernel {
+                    SchemeKind::Nomad => {
+                        Box::new(NomadPolicy::new(cfg.hosts, capacity_pages, budget))
+                    }
+                    SchemeKind::Memtis => {
+                        Box::new(MemtisPolicy::new(cfg.hosts, capacity_pages, budget))
+                    }
+                    SchemeKind::Hemem => Box::new(
+                        HememPolicy::new(cfg.hosts, capacity_pages, HememPolicy::DEFAULT_THRESHOLD)
+                            .with_budget(budget),
+                    ),
+                    SchemeKind::OsSkew => {
+                        Box::new(OsSkewPolicy::new(cfg.hosts, capacity_pages, threshold, budget))
+                    }
+                    other => unreachable!("{other:?} handled above"),
+                };
+                let init_mult = if kernel == SchemeKind::Nomad { 0.5 } else { 1.0 };
+                SchemeState::Kernel(KernelState {
+                    policy,
+                    next_interval: cfg.migration_interval_cycles,
+                    harm: HarmTracker::new(&cfg),
+                    init_mult,
+                    tokens: 0.0,
+                })
+            }
+        };
+        let total_cores = cfg.total_cores();
+        System {
+            cores: (0..total_cores).map(|_| CoreModel::new(&cfg.core)).collect(),
+            hosts,
+            fabric: Fabric::new(cfg.hosts, &cfg.cxl),
+            cxl_dram: Dram::new(&cfg.cxl_dram),
+            devdir: DeviceDirectory::new(&cfg.directory),
+            scheme: scheme_state,
+            stats: SystemStats::new(total_cores, cfg.hosts),
+            processed: 0,
+            warmup_refs: 0,
+            warmed: false,
+            warmup_clock: vec![0; total_cores],
+            warmup_instr: vec![0; total_cores],
+            page_location: HashMap::new(),
+            hints: crate::MigrationHints::new(),
+            kind: scheme,
+            cfg,
+        }
+    }
+
+    /// The scheme being simulated.
+    pub fn scheme(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Installs application placement hints (paper §6). Effective for the
+    /// PIPM scheme only; advisory — hints never affect correctness.
+    pub fn set_hints(&mut self, hints: crate::MigrationHints) {
+        self.hints = hints;
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Validates the cross-structure coherence invariants the simulator
+    /// must maintain: the device directory, LLC states, and PIPM remapping
+    /// bits always agree. Used by integration tests and (in debug builds)
+    /// at the end of every run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        // Device directory entries must match cache states.
+        for (line, state) in self.devdir_entries() {
+            match state {
+                DevState::Modified(owner) => {
+                    let meta = self.hosts[owner.index()].llc.peek(line);
+                    match meta {
+                        Some(m) if matches!(m.state, LState::M | LState::E) => {}
+                        other => {
+                            return Err(format!(
+                                "devdir M({owner}) for {line} but owner LLC has {other:?}"
+                            ))
+                        }
+                    }
+                }
+                DevState::Shared(set) => {
+                    for h in set.iter() {
+                        match self.hosts[h.index()].llc.peek(line) {
+                            Some(m) if m.state == LState::S => {}
+                            other => {
+                                return Err(format!(
+                                    "devdir S sharer {h} for {line} but LLC has {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // ME lines require a local remapping entry with the bit set and no
+        // device directory entry.
+        for (hi, host) in self.hosts.iter().enumerate() {
+            for (line, meta) in host.llc.iter() {
+                if meta.state == LState::Me {
+                    let page = line.page();
+                    let idx = line.index_within_page();
+                    let e = host.remap.entry(page).ok_or_else(|| {
+                        format!("H{hi}: ME line {line} without remap entry")
+                    })?;
+                    if !e.line_migrated(idx) {
+                        return Err(format!("H{hi}: ME line {line} without in-memory bit"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn devdir_entries(&self) -> Vec<(LineAddr, DevState)> {
+        self.devdir.entries_snapshot()
+    }
+
+    /// Diagnostic snapshot of shared-resource contention: per-link demand
+    /// queue cycles, CXL DRAM queue cycles, and per-host local DRAM queue
+    /// cycles. Used by examples and tuning tools.
+    pub fn contention_report(&self) -> String {
+        let f = self.fabric.total_stats();
+        let cx = self.cxl_dram.stats();
+        let locals: Vec<String> = self
+            .hosts
+            .iter()
+            .map(|h| format!("{}q/{}bus/{}a", h.dram.stats().queue_cycles, h.dram.stats().bus_wait_cycles, h.dram.stats().accesses))
+            .collect();
+        format!(
+            "link: msgs={} bytes={} qcyc={} migbytes={} | cxl_dram: acc={} q={} rowhit={:.2} | local: {}",
+            f.demand_messages,
+            f.demand_bytes,
+            f.demand_queue_cycles,
+            f.migration_bytes,
+            cx.accesses,
+            cx.queue_cycles,
+            cx.row_hit_rate(),
+            locals.join(" ")
+        )
+    }
+
+    /// Runs the simulation to completion over one stream per core
+    /// (`streams.len()` must equal the configured core count) and returns
+    /// the collected statistics. `refs_per_core` is used to size the
+    /// warm-up window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count does not match the configuration.
+    pub fn run(
+        &mut self,
+        mut streams: Vec<Box<dyn AccessStream>>,
+        refs_per_core: u64,
+    ) -> SystemStats {
+        assert_eq!(
+            streams.len(),
+            self.cores.len(),
+            "one stream per core required"
+        );
+        self.warmup_refs =
+            (self.cfg.warmup_fraction * (refs_per_core * streams.len() as u64) as f64) as u64;
+        // Min-heap on (clock, core): deterministic global-order advance.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(Cycle, usize)>> = (0..streams.len())
+            .map(|i| std::cmp::Reverse((0, i)))
+            .collect();
+        while let Some(std::cmp::Reverse((_, ci))) = heap.pop() {
+            let Some(rec) = streams[ci].next_record() else {
+                let stats = &mut self.stats.cores[ci];
+                self.cores[ci].drain(&mut |class, cycles| stats.record_stall(class, cycles));
+                continue;
+            };
+            self.step_core(ci, rec);
+            heap.push(std::cmp::Reverse((self.cores[ci].clock(), ci)));
+        }
+        self.finish()
+    }
+
+    fn step_core(&mut self, ci: usize, rec: pipm_cpu::TraceRecord) {
+        self.maybe_interval(self.cores[ci].clock());
+        self.maybe_warmup();
+        self.processed += 1;
+
+        let core = &mut self.cores[ci];
+        core.advance_compute(rec.nonmem);
+        // Accesses that will leave the L1 need an MSHR; this bounds the
+        // memory-system burst depth like real miss queues do.
+        let hi = ci / self.cfg.cores_per_host;
+        let li = ci % self.cfg.cores_per_host;
+        let l1_hit = self.hosts[hi].l1[li].peek(rec.addr.line()).is_some();
+        {
+            let stats = &mut self.stats.cores[ci];
+            let core = &mut self.cores[ci];
+            if !l1_hit {
+                core.reserve_mshr(&mut |class, cycles| stats.record_stall(class, cycles));
+            }
+            core.reserve_slot(rec.is_write, &mut |class, cycles| {
+                stats.record_stall(class, cycles)
+            });
+        }
+        let now = self.cores[ci].clock();
+        let (done, class, queued_mig) = self.mem_access(ci, rec.addr, rec.is_write, now);
+        let latency = done - now;
+        self.cores[ci].issue(done, class, rec.is_write);
+        let stats = &mut self.stats.cores[ci];
+        stats.record_access(class, latency);
+        stats.transfer_stall += queued_mig;
+        stats.instructions = self.cores[ci].instructions() - self.warmup_instr[ci];
+        stats.cycles = self.cores[ci].clock().saturating_sub(self.warmup_clock[ci]);
+    }
+
+    fn maybe_warmup(&mut self) {
+        if !self.warmed && self.processed >= self.warmup_refs {
+            self.warmed = true;
+            for (i, c) in self.cores.iter().enumerate() {
+                self.warmup_clock[i] = c.clock();
+                self.warmup_instr[i] = c.instructions();
+                self.stats.cores[i] = Default::default();
+            }
+        }
+    }
+
+    fn finish(&mut self) -> SystemStats {
+        for (i, c) in self.cores.iter().enumerate() {
+            self.stats.cores[i].cycles = c.clock().saturating_sub(self.warmup_clock[i]);
+        }
+        // Footprint peaks.
+        for (hi, h) in self.hosts.iter().enumerate() {
+            match &self.scheme {
+                SchemeState::Kernel(_) => {
+                    self.stats.migration.peak_resident_pages[hi] = h.peak_resident_pages;
+                    self.stats.migration.peak_resident_lines[hi] =
+                        h.peak_resident_pages * LINES_PER_PAGE;
+                }
+                SchemeState::PipmLike { .. } => {
+                    self.stats.migration.peak_resident_pages[hi] = h.remap.peak_pages();
+                    self.stats.migration.peak_resident_lines[hi] = h.remap.peak_lines();
+                }
+                _ => {}
+            }
+            self.stats.local_remap_hits += h.remap.cache_stats().hits;
+            self.stats.local_remap_misses += h.remap.cache_stats().misses;
+        }
+        if let SchemeState::PipmLike { global, .. } = &self.scheme {
+            self.stats.global_remap_hits = global.cache_stats().hits;
+            self.stats.global_remap_misses = global.cache_stats().misses;
+        }
+        if let SchemeState::Kernel(k) = &mut self.scheme {
+            k.harm.finish();
+            self.stats.migration.harmful_promotions = k.harm.harmful();
+            self.stats.migration.evaluated_promotions = k.harm.evaluated();
+        }
+        #[cfg(debug_assertions)]
+        self.check_consistency().expect("simulator invariants");
+        self.stats.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access paths
+    // ------------------------------------------------------------------
+
+    /// Performs one memory reference for core `ci`, returning
+    /// `(completion_cycle, class, migration-queued cycles)`.
+    fn mem_access(
+        &mut self,
+        ci: usize,
+        addr: Addr,
+        is_write: bool,
+        now: Cycle,
+    ) -> (Cycle, AccessClass, Cycle) {
+        let hi = ci / self.cfg.cores_per_host;
+        let li = ci % self.cfg.cores_per_host;
+        let line = addr.line();
+
+        // L1 lookup.
+        if let Some(meta) = self.hosts[hi].l1[li].lookup(line) {
+            if is_write {
+                meta.dirty = true;
+                // Write propagates to the LLC state machine: S lines need
+                // an upgrade even on an L1 hit.
+                let needs_upgrade = matches!(
+                    self.hosts[hi].llc.peek(line),
+                    Some(LlcMeta { state: LState::S, .. })
+                );
+                if needs_upgrade {
+                    let (done, class, q) = self.upgrade_shared(hi, line, now);
+                    if let Some(m) = self.hosts[hi].llc.peek_mut(line) {
+                        m.dirty = true;
+                    }
+                    return (done, class, q);
+                }
+                if let Some(m) = self.hosts[hi].llc.peek_mut(line) {
+                    m.dirty = true;
+                    if m.state == LState::E {
+                        m.state = LState::M;
+                        self.promote_devdir_owner(line);
+                    }
+                }
+            }
+            return (now + self.cfg.l1d.hit_latency, AccessClass::L1Hit, 0);
+        }
+
+        // LLC lookup.
+        if let Some(meta) = self.hosts[hi].llc.lookup(line).copied() {
+            let mut done = now + self.cfg.llc_per_core.hit_latency;
+            let mut class = AccessClass::LlcHit;
+            let mut queued = 0;
+            if is_write {
+                match meta.state {
+                    LState::S => {
+                        let (d, c, q) = self.upgrade_shared(hi, line, now);
+                        done = d;
+                        class = c;
+                        queued = q;
+                    }
+                    LState::E => {
+                        if let Some(m) = self.hosts[hi].llc.peek_mut(line) {
+                            m.state = LState::M;
+                            m.dirty = true;
+                        }
+                        self.promote_devdir_owner(line);
+                    }
+                    LState::M | LState::Me => {
+                        if let Some(m) = self.hosts[hi].llc.peek_mut(line) {
+                            m.dirty = true;
+                        }
+                    }
+                }
+            }
+            self.fill_l1(hi, li, line, is_write);
+            return (done, class, queued);
+        }
+
+        // LLC miss.
+        let t = now + self.cfg.llc_per_core.hit_latency;
+        if !addr.is_shared(&self.cfg) {
+            // Private data: always the host's local DRAM.
+            let done = self.hosts[hi].dram.access(addr, t, is_write);
+            let state = if is_write { LState::M } else { LState::E };
+            self.install(hi, li, line, state, is_write, t);
+            return (done, AccessClass::LocalPrivate, 0);
+        }
+
+        // Shared (CXL-DSM) data: scheme-specific.
+        let mut scheme = std::mem::replace(&mut self.scheme, SchemeState::Native);
+        let out = match &mut scheme {
+            SchemeState::Native => self.shared_via_cxl(hi, li, line, is_write, t, None),
+            SchemeState::Ideal => {
+                let done = self.hosts[hi].dram.access(addr, t, is_write);
+                let state = if is_write { LState::M } else { LState::E };
+                self.install(hi, li, line, state, is_write, t);
+                (done, AccessClass::LocalShared, 0)
+            }
+            SchemeState::Kernel(k) => self.kernel_shared(k, hi, li, line, is_write, t),
+            SchemeState::PipmLike { global, static_map } => {
+                self.pipm_shared(global, *static_map, hi, li, line, is_write, t)
+            }
+        };
+        self.scheme = scheme;
+        out
+    }
+
+    /// S→M upgrade: invalidate other sharers via the device directory.
+    fn upgrade_shared(&mut self, hi: usize, line: LineAddr, now: Cycle) -> (Cycle, AccessClass, Cycle) {
+        let host = HostId::new(hi);
+        let up = self.fabric.send(host, Dir::ToDevice, now, self.fabric.header_bytes(), false);
+        let mut t = up.at + self.cfg.directory.access_latency();
+        let mut queued = up.queued_behind_migration;
+        if let Some(DevState::Shared(set)) = self.devdir.lookup(line) {
+            let mut max_ack = t;
+            for sharer in set.iter().filter(|&s| s != host) {
+                let inv = self
+                    .fabric
+                    .send(sharer, Dir::ToHost, t, self.fabric.header_bytes(), false);
+                queued += inv.queued_behind_migration;
+                // Invalidate the sharer's cached copies.
+                self.invalidate_host_line(sharer.index(), line);
+                // Ack returns to the device.
+                let ack = self
+                    .fabric
+                    .send(sharer, Dir::ToDevice, inv.at, self.fabric.header_bytes(), false);
+                max_ack = max_ack.max(ack.at);
+            }
+            t = max_ack;
+        }
+        self.devdir.remove(line);
+        if let Some(r) = self.devdir.update(line, DevState::Modified(host)) {
+            self.handle_recall(r, t);
+        }
+        if let Some(m) = self.hosts[hi].llc.peek_mut(line) {
+            m.state = LState::M;
+            m.dirty = true;
+        }
+        let down = self.fabric.send(host, Dir::ToHost, t, self.fabric.header_bytes(), false);
+        queued += down.queued_behind_migration;
+        (down.at, AccessClass::CxlDram, queued)
+    }
+
+    /// Records an E→M transition at the device directory (silent in
+    /// hardware; our directory already stores "owner", so nothing to do —
+    /// kept as a named hook for clarity and tests).
+    fn promote_devdir_owner(&mut self, _line: LineAddr) {}
+
+    /// Shared-data access resolved through the CXL device directory (the
+    /// Native path; also the backend for kernel-scheme CXL-resident pages
+    /// and PIPM non-migrated lines). `vote` carries the PIPM global-remap
+    /// context when the caller wants majority voting applied.
+    #[allow(clippy::too_many_arguments)]
+    fn shared_via_cxl(
+        &mut self,
+        hi: usize,
+        li: usize,
+        line: LineAddr,
+        is_write: bool,
+        t: Cycle,
+        global: Option<&mut GlobalRemap>,
+    ) -> (Cycle, AccessClass, Cycle) {
+        let host = HostId::new(hi);
+        let addr = line.base_addr();
+        let issue = t;
+        let up = self
+            .fabric
+            .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
+        let mut queued = up.queued_behind_migration;
+        let mut t = up.at + self.cfg.directory.access_latency();
+
+        // PIPM: global remapping cache lookup + majority vote at the
+        // device. The cache is write-back: vote updates on a miss allocate
+        // an entry without a synchronous DRAM walk (the table read is only
+        // needed on the migrated-line forward path, §4.3.3).
+        if let Some(global) = global {
+            let page = line.page();
+            let lr = global.lookup(page);
+            t += lr.latency;
+            let threshold = self.cfg.pipm.migration_threshold;
+            if global.current(page).is_none() && !self.hints.is_pinned(page) {
+                let preferred = self.hints.preferred(page) == Some(host);
+                let vote_fired = global.vote(page, host, threshold);
+                if (preferred || vote_fired) && self.hosts[hi].remap.initiate(page, threshold) {
+                    global.set_current(page, host);
+                    self.stats.migration.pages_promoted += 1;
+                }
+            }
+        }
+
+        let dev = self.devdir.lookup(line);
+        let (done, class) = match dev {
+            Some(DevState::Modified(owner)) if owner != host => {
+                // Four-hop forward through the owning host's cache.
+                let fwd = self
+                    .fabric
+                    .send(owner, Dir::ToHost, t, self.fabric.header_bytes(), false);
+                let mut tt = fwd.at + self.cfg.llc_per_core.hit_latency;
+                let dirty = self
+                    .hosts[owner.index()]
+                    .llc
+                    .peek(line)
+                    .map(|m| m.dirty || m.state == LState::M)
+                    .unwrap_or(false);
+                if is_write {
+                    self.invalidate_host_line(owner.index(), line);
+                } else {
+                    self.downgrade_host_line(owner.index(), line);
+                }
+                let back = self.fabric.send(owner, Dir::ToDevice, tt, DATA_MSG, false);
+                tt = back.at;
+                if dirty {
+                    // Asynchronous writeback of the forwarded data.
+                    self.cxl_dram.write_buffered(addr, tt);
+                }
+                self.devdir.remove(line);
+                let new_state = if is_write {
+                    DevState::Modified(host)
+                } else {
+                    let mut set = pipm_types::HostSet::singleton(owner);
+                    set.insert(host);
+                    DevState::Shared(set)
+                };
+                if let Some(r) = self.devdir.update(line, new_state) {
+                    self.handle_recall(r, tt);
+                }
+                let down = self.fabric.send(host, Dir::ToHost, tt, DATA_MSG, false);
+                queued += down.queued_behind_migration + fwd.queued_behind_migration;
+                (down.at, AccessClass::CxlForward)
+            }
+            Some(DevState::Shared(set)) => {
+                let mut tt = t;
+                if is_write {
+                    let mut max_ack = tt;
+                    for sharer in set.iter().filter(|&s| s != host) {
+                        let inv = self.fabric.send(
+                            sharer,
+                            Dir::ToHost,
+                            tt,
+                            self.fabric.header_bytes(),
+                            false,
+                        );
+                        self.invalidate_host_line(sharer.index(), line);
+                        let ack = self.fabric.send(
+                            sharer,
+                            Dir::ToDevice,
+                            inv.at,
+                            self.fabric.header_bytes(),
+                            false,
+                        );
+                        max_ack = max_ack.max(ack.at);
+                    }
+                    tt = max_ack;
+                }
+                tt = self.cxl_dram.access(addr, tt, false);
+                self.devdir.remove(line);
+                let new_state = if is_write {
+                    DevState::Modified(host)
+                } else {
+                    let mut set = set;
+                    set.insert(host);
+                    DevState::Shared(set)
+                };
+                if let Some(r) = self.devdir.update(line, new_state) {
+                    self.handle_recall(r, tt);
+                }
+                let down = self.fabric.send(host, Dir::ToHost, tt, DATA_MSG, false);
+                queued += down.queued_behind_migration;
+                (down.at, AccessClass::CxlDram)
+            }
+            Some(DevState::Modified(_)) | None => {
+                // Not cached anywhere else (Modified(host) cannot occur on
+                // a miss — the local copy was evicted and removed). Plain
+                // CXL DRAM fill; sole accessor becomes the exclusive owner.
+                let tt = self.cxl_dram.access(addr, t, is_write);
+                if let Some(r) = self.devdir.update(line, DevState::Modified(host)) {
+                    self.handle_recall(r, tt);
+                }
+                let down = self.fabric.send(host, Dir::ToHost, tt, DATA_MSG, false);
+                queued += down.queued_behind_migration;
+                (down.at, AccessClass::CxlDram)
+            }
+        };
+
+        let state = match (is_write, class) {
+            (true, _) => LState::M,
+            (false, AccessClass::CxlForward) => LState::S,
+            (false, _) => match self.devdir.lookup(line) {
+                Some(DevState::Shared(_)) => LState::S,
+                _ => LState::E,
+            },
+        };
+        self.install(hi, li, line, state, is_write, issue);
+        (done, class, queued)
+    }
+
+    /// Kernel-scheme shared access: consult the page map.
+    fn kernel_shared(
+        &mut self,
+        k: &mut KernelState,
+        hi: usize,
+        li: usize,
+        line: LineAddr,
+        is_write: bool,
+        t: Cycle,
+    ) -> (Cycle, AccessClass, Cycle) {
+        let host = HostId::new(hi);
+        let page = line.page();
+        let resident = self.page_location.get(&page).copied();
+        k.policy.record_access(host, page, is_write, resident);
+        match resident {
+            Some(owner) if owner == host => {
+                k.harm.on_access(page, host);
+                let done = self.hosts[hi].dram.access(line.base_addr(), t, is_write);
+                let state = if is_write { LState::M } else { LState::E };
+                self.install(hi, li, line, state, is_write, t);
+                (done, AccessClass::LocalShared, 0)
+            }
+            Some(owner) => {
+                // Non-cacheable four-hop access to the owning host's local
+                // memory (GIM semantics, Figure 3 ①–⑤). No cache fill.
+                k.harm.on_access(page, host);
+                let up = self
+                    .fabric
+                    .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
+                let fwd = self.fabric.send(
+                    owner,
+                    Dir::ToHost,
+                    up.at,
+                    self.fabric.header_bytes(),
+                    false,
+                );
+                let tt = fwd.at + self.cfg.llc_per_core.hit_latency; // owner local dir
+                let tt = self.hosts[owner.index()]
+                    .dram
+                    .access_shadow(line.base_addr(), tt);
+                let back = self.fabric.send(owner, Dir::ToDevice, tt, DATA_MSG, false);
+                let down = self.fabric.send(host, Dir::ToHost, back.at, DATA_MSG, false);
+                let queued = up.queued_behind_migration
+                    + fwd.queued_behind_migration
+                    + back.queued_behind_migration
+                    + down.queued_behind_migration;
+                (down.at, AccessClass::InterHost, queued)
+            }
+            None => self.shared_via_cxl(hi, li, line, is_write, t, None),
+        }
+    }
+
+    /// PIPM / HW-static shared access (PIPM coherence, §4.3).
+    #[allow(clippy::too_many_arguments)]
+    fn pipm_shared(
+        &mut self,
+        global: &mut GlobalRemap,
+        static_map: Option<HwStaticMap>,
+        hi: usize,
+        li: usize,
+        line: LineAddr,
+        is_write: bool,
+        t: Cycle,
+    ) -> (Cycle, AccessClass, Cycle) {
+        let host = HostId::new(hi);
+        let page = line.page();
+        let idx = line.index_within_page();
+
+        // HW-static: lazily materialize the static page mapping.
+        if let Some(map) = static_map {
+            if map.target(page) == host && self.hosts[hi].remap.entry(page).is_none() {
+                self.hosts[hi].remap.initiate(page, u8::MAX);
+            }
+        }
+
+        // Local remapping lookup: required on every shared LLC miss to
+        // distinguish I from I′ (§4.3.3).
+        let lr = self.hosts[hi].remap.lookup(page);
+        let mut t = t + lr.latency;
+        if !lr.cache_hit {
+            t = self
+                .hosts[hi]
+                .dram
+                .access(Addr::new(TABLE_WALK_BASE + page.raw() * 4), t, false);
+        }
+
+        if let Some(entry) = self.hosts[hi].remap.entry(page) {
+            let migrated = entry.line_migrated(idx);
+            if static_map.is_none() {
+                self.hosts[hi].remap.local_access(page);
+            }
+            if migrated {
+                // Case ③: I′ → serve from local DRAM, cache as ME.
+                let done = self.hosts[hi].dram.access(line.base_addr(), t, is_write);
+                self.install(hi, li, line, LState::Me, is_write, t);
+                return (done, AccessClass::LocalShared, 0);
+            }
+            // Line not yet migrated: cacheable CXL access, bypassing the
+            // global vote (local accesses to partially migrated pages do
+            // not reach the global counter, Figure 7 ④).
+            let out = self.shared_via_cxl(hi, li, line, is_write, t, None);
+            if static_map.is_some() {
+                // Intel-Flat-Mode-like swap-on-access: HW-static installs
+                // the line into its statically mapped local frame as soon
+                // as the host touches it (no adaptive policy, no vote).
+                self.hosts[hi].dram.write_buffered(line.base_addr(), t);
+                self.hosts[hi].remap.set_line(page, idx);
+                self.stats.migration.lines_migrated_in += 1;
+                self.stats.migration.transfer_bytes += 64;
+            }
+            return out;
+        }
+
+        // No local entry here. The access travels to the CXL node; the
+        // device consults the global remapping table.
+        match (static_map, global_current(global, static_map, page)) {
+            (_, Some(owner)) if owner != host => {
+                // Inter-host access to a (partially) migrated page.
+                let owner_entry_bit = self.hosts[owner.index()]
+                    .remap
+                    .entry(page)
+                    .map(|e| e.line_migrated(idx))
+                    .unwrap_or(false);
+                // Device-side bookkeeping hint: inter-host access
+                // decrements the owner's local counter (Figure 7 ⑤).
+                let revoke = if static_map.is_none() {
+                    self.hosts[owner.index()].remap.interhost_access(page)
+                } else {
+                    false
+                };
+                let result = if owner_entry_bit {
+                    // Cases ②/⑤/⑥: coherent 4-hop fetch from the owner's
+                    // local memory (or cache) + incremental migration back.
+                    let up = self
+                        .fabric
+                        .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
+                    let mut tt = up.at + self.cfg.directory.access_latency();
+                    // CXL memory read verifies the I′ in-memory bit; the
+                    // owning host comes from the global remapping cache
+                    // (hot for contested pages).
+                    tt = self.cxl_dram.access(line.base_addr(), tt, false);
+                    let fwd = self.fabric.send(
+                        owner,
+                        Dir::ToHost,
+                        tt,
+                        self.fabric.header_bytes(),
+                        false,
+                    );
+                    tt = fwd.at + self.cfg.llc_per_core.hit_latency;
+                    let cached = self.hosts[owner.index()].llc.peek(line).is_some();
+                    if cached {
+                        if is_write {
+                            self.invalidate_host_line(owner.index(), line); // case ⑤
+                        } else {
+                            self.downgrade_host_line(owner.index(), line); // case ⑥
+                        }
+                    } else {
+                        tt = self.hosts[owner.index()]
+                            .dram
+                            .access_shadow(line.base_addr(), tt);
+                    }
+                    // Migrate back: clear bits, asynchronous writeback into
+                    // CXL memory.
+                    self.hosts[owner.index()].remap.clear_line(page, idx);
+                    self.stats.migration.lines_migrated_back += 1;
+                    self.stats.migration.transfer_bytes += 64;
+                    let back = self.fabric.send(owner, Dir::ToDevice, tt, DATA_MSG, false);
+                    self.cxl_dram.write_buffered(line.base_addr(), back.at);
+                    let new_state = if is_write {
+                        DevState::Modified(host)
+                    } else if cached {
+                        let mut set = pipm_types::HostSet::singleton(owner);
+                        set.insert(host);
+                        DevState::Shared(set)
+                    } else {
+                        DevState::Modified(host)
+                    };
+                    self.devdir.remove(line);
+                    if let Some(r) = self.devdir.update(line, new_state) {
+                        self.handle_recall(r, back.at);
+                    }
+                    let down = self.fabric.send(host, Dir::ToHost, back.at, DATA_MSG, false);
+                    let queued = up.queued_behind_migration
+                        + fwd.queued_behind_migration
+                        + back.queued_behind_migration
+                        + down.queued_behind_migration;
+                    let state = if is_write {
+                        LState::M
+                    } else if cached {
+                        LState::S
+                    } else {
+                        LState::E
+                    };
+                    self.install(hi, li, line, state, is_write, t);
+                    (down.at, AccessClass::InterHost, queued)
+                } else {
+                    // The requested line still lives in CXL memory: normal
+                    // cacheable access (with vote bypassed — the page is
+                    // already migrated).
+                    self.shared_via_cxl(hi, li, line, is_write, t, None)
+                };
+                if revoke {
+                    self.revoke_page(global, owner.index(), page, t);
+                }
+                result
+            }
+            _ => {
+                // Unmigrated page (or our own static/partial pages were
+                // handled above): device path with majority voting for
+                // PIPM.
+                let vote = if static_map.is_none() { Some(global) } else { None };
+                self.shared_via_cxl(hi, li, line, is_write, t, vote)
+            }
+        }
+    }
+
+    /// Sector-granularity extension (design-space ablation): when a line
+    /// migrates incrementally, also pull its spatial neighbours within the
+    /// page into local DRAM, up to `pipm.sector_lines` total. Unlike the
+    /// paper's pure incremental migration this *does* transfer extra data
+    /// (one CXL read per neighbour), trading link bandwidth for fewer
+    /// future CXL round trips. Disabled by default (`sector_lines = 1`).
+    fn sector_migrate(&mut self, hi: usize, page: PageNum, idx: usize, now: Cycle) {
+        let sector = self.cfg.pipm.sector_lines as usize;
+        if sector <= 1 {
+            return;
+        }
+        let host = HostId::new(hi);
+        let base = idx - (idx % sector);
+        for i in base..(base + sector).min(LINES_PER_PAGE as usize) {
+            if i == idx {
+                continue;
+            }
+            let already = self
+                .hosts[hi]
+                .remap
+                .entry(page)
+                .map(|e| e.line_migrated(i))
+                .unwrap_or(true);
+            if already {
+                continue;
+            }
+            let line = page.line(i);
+            // Skip lines currently cached anywhere (they are in the
+            // coherence domain; migrating them here would need probes).
+            if self.devdir.lookup(line).is_some() {
+                continue;
+            }
+            // Fetch from CXL memory and install into local DRAM.
+            let up = self
+                .fabric
+                .send(host, Dir::ToDevice, now, self.fabric.header_bytes(), false);
+            let t = self.cxl_dram.access(line.base_addr(), up.at, false);
+            let down = self.fabric.send(host, Dir::ToHost, t, DATA_MSG, true);
+            self.hosts[hi].dram.write_buffered(line.base_addr(), down.at);
+            self.hosts[hi].remap.set_line(page, i);
+            self.stats.migration.lines_migrated_in += 1;
+            self.stats.migration.transfer_bytes += 64;
+        }
+    }
+
+    /// Revokes a partial migration: every migrated line of `page` returns
+    /// to CXL memory (Figure 7 ⑥).
+    fn revoke_page(&mut self, global: &mut GlobalRemap, oi: usize, page: PageNum, now: Cycle) {
+        let Some(entry) = self.hosts[oi].remap.revoke(page) else {
+            return;
+        };
+        let owner = HostId::new(oi);
+        let n = entry.migrated_lines() as u64;
+        // Flush any cached (ME) lines of the page at the owner.
+        for i in 0..LINES_PER_PAGE as usize {
+            if entry.line_migrated(i) {
+                self.invalidate_host_line(oi, page.line(i));
+            }
+        }
+        if n > 0 {
+            let bytes = n * 64;
+            let t = self.hosts[oi].dram.bulk_transfer(page.base_addr(), now, bytes);
+            let arr = self.fabric.send(owner, Dir::ToDevice, t, bytes, true);
+            self.cxl_dram.bulk_transfer(page.base_addr(), arr.at, bytes);
+            self.stats.migration.transfer_bytes += bytes;
+            self.stats.migration.lines_migrated_back += n;
+        }
+        global.clear_current(page);
+        self.stats.migration.pages_demoted += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Cache maintenance
+    // ------------------------------------------------------------------
+
+    fn fill_l1(&mut self, hi: usize, li: usize, line: LineAddr, is_write: bool) {
+        if let Some((_, vmeta)) = self.hosts[hi].l1[li].insert(line, L1Meta { dirty: is_write }) {
+            if vmeta.dirty {
+                // L1 victim writeback folds into the (inclusive) LLC.
+                // The victim line may have been evicted from the LLC
+                // already; dirty data then travelled with that eviction.
+            }
+        }
+    }
+
+    /// Installs a line in LLC + requesting core's L1, handling the LLC
+    /// victim. `now` is the fill time, used to timestamp victim traffic.
+    fn install(&mut self, hi: usize, li: usize, line: LineAddr, state: LState, is_write: bool, now: Cycle) {
+        let meta = LlcMeta {
+            state,
+            dirty: is_write || state == LState::M,
+        };
+        if let Some((vline, vmeta)) = self.hosts[hi].llc.insert(line, meta) {
+            self.evict_llc_line(hi, vline, vmeta, now);
+        }
+        self.fill_l1(hi, li, line, is_write);
+    }
+
+    /// Handles eviction of `vline` from host `hi`'s LLC: L1 back-
+    /// invalidation, PIPM incremental migration (cases ① and ④), CXL
+    /// writeback, and directory maintenance.
+    fn evict_llc_line(&mut self, hi: usize, vline: LineAddr, mut vmeta: LlcMeta, now: Cycle) {
+        let host = HostId::new(hi);
+        // Inclusive hierarchy: purge L1 copies, folding dirtiness.
+        for l1 in &mut self.hosts[hi].l1 {
+            if let Some(m) = l1.invalidate(vline) {
+                vmeta.dirty |= m.dirty;
+            }
+        }
+        if !vline.is_shared(&self.cfg) {
+            if vmeta.dirty {
+                self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
+            }
+            return;
+        }
+        match self.kind {
+            SchemeKind::LocalOnly => {
+                if vmeta.dirty {
+                    self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
+                }
+            }
+            SchemeKind::Native => {
+                self.native_evict(hi, vline, vmeta, now);
+            }
+            k if k.uses_kernel_migration() => {
+                let resident = self.page_location.get(&vline.page()).copied();
+                if resident == Some(host) {
+                    if vmeta.dirty {
+                        self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
+                    }
+                } else {
+                    self.native_evict(hi, vline, vmeta, now);
+                }
+            }
+            _ => {
+                let page = vline.page();
+                let idx = vline.index_within_page();
+                match vmeta.state {
+                    LState::Me => {
+                        // Case ④: writeback to local DRAM only.
+                        self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
+                    }
+                    LState::M | LState::E => {
+                        if self.hosts[hi].remap.entry(page).is_some() {
+                            // Case ① (and its clean-exclusive analogue):
+                            // incremental migration into local DRAM.
+                            self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
+                            self.hosts[hi].remap.set_line(page, idx);
+                            self.devdir.remove(vline);
+                            // Flip the CXL-side in-memory bit: a tiny,
+                            // coalesced control flit (the bit lives in the
+                            // CXL line's ECC metadata).
+                            self.fabric.send(host, Dir::ToDevice, now, 4, false);
+                            self.stats.migration.lines_migrated_in += 1;
+                            self.sector_migrate(hi, page, idx, now);
+                        } else {
+                            self.native_evict(hi, vline, vmeta, now);
+                        }
+                    }
+                    LState::S => {
+                        self.devdir.remove_sharer(vline, host);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Baseline eviction of a CXL-domain line: dirty writeback over the
+    /// fabric, directory update.
+    fn native_evict(&mut self, hi: usize, vline: LineAddr, vmeta: LlcMeta, now: Cycle) {
+        let host = HostId::new(hi);
+        match vmeta.state {
+            LState::S => self.devdir.remove_sharer(vline, host),
+            _ => {
+                if vmeta.dirty {
+                    let arr = self.fabric.send(host, Dir::ToDevice, now, DATA_MSG, false);
+                    self.cxl_dram.write_buffered(vline.base_addr(), arr.at);
+                }
+                self.devdir.remove(vline);
+            }
+        }
+    }
+
+    /// Invalidates a line from a host's LLC and L1s (coherence
+    /// invalidation; dirty data is handled by the caller's protocol step).
+    fn invalidate_host_line(&mut self, hi: usize, line: LineAddr) {
+        self.hosts[hi].llc.invalidate(line);
+        for l1 in &mut self.hosts[hi].l1 {
+            l1.invalidate(line);
+        }
+    }
+
+    /// Downgrades a host's cached copy to S (remote read of M/E/ME).
+    fn downgrade_host_line(&mut self, hi: usize, line: LineAddr) {
+        if let Some(m) = self.hosts[hi].llc.peek_mut(line) {
+            m.state = LState::S;
+            m.dirty = false;
+        }
+        for l1 in &mut self.hosts[hi].l1 {
+            if let Some(m) = l1.peek_mut(line) {
+                m.dirty = false;
+            }
+        }
+    }
+
+    /// Handles a device-directory capacity recall: the victim entry's
+    /// holders are invalidated (with dirty writeback).
+    fn handle_recall(&mut self, recall: Recall, now: Cycle) {
+        self.stats.directory_recalls += 1;
+        match recall.state {
+            DevState::Modified(owner) => {
+                let dirty = self
+                    .hosts[owner.index()]
+                    .llc
+                    .peek(recall.line)
+                    .map(|m| m.dirty)
+                    .unwrap_or(false);
+                self.invalidate_host_line(owner.index(), recall.line);
+                if dirty {
+                    let arr = self.fabric.send(owner, Dir::ToDevice, now, DATA_MSG, false);
+                    self.cxl_dram.write_buffered(recall.line.base_addr(), arr.at);
+                }
+            }
+            DevState::Shared(set) => {
+                for h in set.iter() {
+                    self.invalidate_host_line(h.index(), recall.line);
+                    self.fabric
+                        .send(h, Dir::ToHost, now, self.fabric.header_bytes(), false);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel migration intervals
+    // ------------------------------------------------------------------
+
+    /// Fires interval processing for kernel schemes when the global clock
+    /// crosses the next boundary.
+    fn maybe_interval(&mut self, now: Cycle) {
+        let SchemeState::Kernel(_) = &self.scheme else {
+            return;
+        };
+        let mut scheme = std::mem::replace(&mut self.scheme, SchemeState::Native);
+        if let SchemeState::Kernel(k) = &mut scheme {
+            while now >= k.next_interval {
+                k.next_interval += self.cfg.migration_interval_cycles;
+                // Refill the migration-bandwidth token bucket: constant
+                // pages-per-cycle regardless of the interval choice.
+                k.tokens += self.cfg.migration_cost.pages_per_mcycle
+                    * self.cfg.migration_interval_cycles as f64
+                    / 1e6;
+                k.policy.set_interval_budget(k.tokens as usize);
+                let outcome = k.policy.end_interval();
+                k.tokens -= outcome.promotions.len() as f64;
+                // Interval processing itself (page-table/PEBS scanning)
+                // costs the migration daemon's core every interval,
+                // independent of whether anything moves — the fixed cost
+                // that makes very short intervals expensive (Takeaway #4).
+                let scan = self.cfg.migration_cost.batch_fixed_cycles;
+                for hi in 0..self.cfg.hosts {
+                    let ci = hi * self.cfg.cores_per_host;
+                    self.cores[ci].charge(scan);
+                    self.stats.cores[ci].mgmt_stall += scan;
+                }
+                if !outcome.is_empty() {
+                    self.apply_kernel_outcome(k, outcome, now);
+                }
+            }
+        }
+        self.scheme = scheme;
+    }
+
+    fn apply_kernel_outcome(
+        &mut self,
+        k: &mut KernelState,
+        outcome: pipm_baselines::IntervalOutcome,
+        now: Cycle,
+    ) {
+        let mut promos_per_host = vec![0u64; self.cfg.hosts];
+
+        for (page, owner) in &outcome.demotions {
+            let oi = owner.index();
+            self.flush_page(oi, *page);
+            let t = self.hosts[oi].dram.bulk_transfer(page.base_addr(), now, PAGE_SIZE);
+            let arr = self.fabric.send(*owner, Dir::ToDevice, t, PAGE_SIZE, true);
+            self.cxl_dram.bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
+            self.page_location.remove(page);
+            k.harm.on_demote(*page);
+            self.hosts[oi].resident_pages = self.hosts[oi].resident_pages.saturating_sub(1);
+            self.stats.migration.pages_demoted += 1;
+            self.stats.migration.transfer_bytes += PAGE_SIZE;
+        }
+
+        for (page, dest) in &outcome.promotions {
+            let di = dest.index();
+            // Flush every host's cached copies (the page leaves the CXL
+            // coherence domain) and drop directory entries.
+            for hi in 0..self.cfg.hosts {
+                self.flush_page(hi, *page);
+            }
+            for i in 0..LINES_PER_PAGE as usize {
+                self.devdir.remove(page.line(i));
+            }
+            let t = self.cxl_dram.bulk_transfer(page.base_addr(), now, PAGE_SIZE);
+            self.fabric.send(*dest, Dir::ToHost, t, PAGE_SIZE, true);
+            self.hosts[di].dram.bulk_transfer(page.base_addr(), t, PAGE_SIZE);
+            self.page_location.insert(*page, *dest);
+            k.harm.on_promote(*page, *dest);
+            promos_per_host[di] += 1;
+            self.hosts[di].resident_pages += 1;
+            self.hosts[di].peak_resident_pages =
+                self.hosts[di].peak_resident_pages.max(self.hosts[di].resident_pages);
+            self.stats.migration.pages_promoted += 1;
+            self.stats.migration.transfer_bytes += PAGE_SIZE;
+        }
+
+        // CPU costs (§5.1.4): the initiating host's first core pays the
+        // per-page cost (scaled; Nomad halves it via asynchronous
+        // migration); every other core pays the batched-shootdown cost.
+        let cost_cfg = self.cfg.migration_cost;
+        let any_work = !outcome.promotions.is_empty() || !outcome.demotions.is_empty();
+        for (hi, &n) in promos_per_host.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let ci = hi * self.cfg.cores_per_host;
+            let cost = cost_cfg.batch_fixed_cycles
+                + ((cost_cfg.initiator_cycles_per_page * n) as f64 * k.init_mult) as Cycle;
+            self.cores[ci].charge(cost);
+            self.stats.cores[ci].mgmt_stall += cost;
+        }
+        if any_work {
+            for ci in 0..self.cores.len() {
+                if promos_per_host[ci / self.cfg.cores_per_host] > 0
+                    && ci % self.cfg.cores_per_host == 0
+                {
+                    continue; // initiator already charged
+                }
+                self.cores[ci].charge(cost_cfg.shootdown_cycles_per_batch);
+                self.stats.cores[ci].mgmt_stall += cost_cfg.shootdown_cycles_per_batch;
+            }
+        }
+    }
+
+    /// Removes all cached lines of `page` from host `hi` (migration
+    /// shootdown).
+    fn flush_page(&mut self, hi: usize, page: PageNum) {
+        for i in 0..LINES_PER_PAGE as usize {
+            let line = page.line(i);
+            self.hosts[hi].llc.invalidate(line);
+            for l1 in &mut self.hosts[hi].l1 {
+                l1.invalidate(line);
+            }
+        }
+    }
+}
+
+/// Effective migration target for a page: the PIPM global table's current
+/// host, or the static map's fixed target under HW-static.
+fn global_current(
+    global: &GlobalRemap,
+    static_map: Option<HwStaticMap>,
+    page: PageNum,
+) -> Option<HostId> {
+    match static_map {
+        Some(map) => Some(map.target(page)),
+        None => global.current(page),
+    }
+}
+

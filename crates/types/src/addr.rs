@@ -1,0 +1,252 @@
+//! Physical addresses, cache lines, and pages.
+//!
+//! The simulated physical address space has two regions, mirroring the
+//! paper's assumption that heap data is shared in CXL-DSM while code, stacks,
+//! and kernel data are private local memory (§5.1.4):
+//!
+//! * **Shared CXL-DSM region**: `[0, cfg.shared_bytes)`. Accesses here are
+//!   coherent across hosts and are the subject of migration.
+//! * **Private regions**: one window per host starting at
+//!   [`Addr::PRIVATE_BASE`], spaced [`Addr::PRIVATE_STRIDE`] apart. Accesses
+//!   here always go to the owning host's local DRAM and never interact with
+//!   the CXL fabric.
+
+use crate::config::SystemConfig;
+use crate::ids::HostId;
+use std::fmt;
+
+/// Size of a cache line in bytes.
+pub const LINE_SIZE: u64 = 64;
+/// Size of a page in bytes (4 KB, the migration granularity of the OS
+/// baselines and the grouping granularity of PIPM's remapping tables).
+pub const PAGE_SIZE: u64 = 4096;
+/// Number of cache lines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / LINE_SIZE;
+
+/// A byte-granularity physical address in the unified address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Base of the per-host private windows.
+    pub const PRIVATE_BASE: u64 = 1 << 46;
+    /// Spacing between consecutive hosts' private windows (1 TB each, the
+    /// maximum local DRAM indexable by the 28-bit local PFN of the paper).
+    pub const PRIVATE_STRIDE: u64 = 1 << 40;
+
+    /// Creates an address from a raw physical address value.
+    pub fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Creates an address inside host `h`'s private window at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the 1 TB private window.
+    pub fn private(h: HostId, offset: u64, _cfg: &SystemConfig) -> Self {
+        assert!(offset < Self::PRIVATE_STRIDE, "private offset too large");
+        Addr(Self::PRIVATE_BASE + h.index() as u64 * Self::PRIVATE_STRIDE + offset)
+    }
+
+    /// Creates an address inside the shared CXL-DSM region at `offset`.
+    pub fn shared(offset: u64, cfg: &SystemConfig) -> Self {
+        debug_assert!(offset < cfg.shared_bytes, "shared offset out of range");
+        Addr(offset % cfg.shared_bytes.max(1))
+    }
+
+    /// Raw physical address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this address falls in the shared CXL-DSM region.
+    ///
+    /// This is the "simple physical address range check" that CXL-capable
+    /// processors perform to route a request to the local memory controller
+    /// or the CXL root complex (paper §4.3.3).
+    pub fn is_shared(self, cfg: &SystemConfig) -> bool {
+        self.0 < cfg.shared_bytes
+    }
+
+    /// For a private address, the host whose window it falls into.
+    /// Returns `None` for shared addresses.
+    pub fn home_host(self, cfg: &SystemConfig) -> Option<HostId> {
+        if self.is_shared(cfg) {
+            None
+        } else {
+            let idx = (self.0 - Self::PRIVATE_BASE) / Self::PRIVATE_STRIDE;
+            Some(HostId::new(idx as usize))
+        }
+    }
+
+    /// The cache line containing this address.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_SIZE)
+    }
+
+    /// The page containing this address.
+    pub fn page(self) -> PageNum {
+        PageNum(self.0 / PAGE_SIZE)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line-granularity address (byte address divided by 64).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line number.
+    pub fn new(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+
+    /// The line number (byte address / 64).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of the line.
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 * LINE_SIZE)
+    }
+
+    /// The page containing this line.
+    pub fn page(self) -> PageNum {
+        PageNum(self.0 / LINES_PER_PAGE)
+    }
+
+    /// Index of this line within its page, `0..64`.
+    pub fn index_within_page(self) -> usize {
+        (self.0 % LINES_PER_PAGE) as usize
+    }
+
+    /// Whether the line lies in the shared CXL-DSM region.
+    pub fn is_shared(self, cfg: &SystemConfig) -> bool {
+        self.base_addr().is_shared(cfg)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A page-granularity address (byte address divided by 4096).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PageNum(u64);
+
+impl PageNum {
+    /// Creates a page number.
+    pub fn new(page_number: u64) -> Self {
+        PageNum(page_number)
+    }
+
+    /// The page number (byte address / 4096).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of the page.
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 * PAGE_SIZE)
+    }
+
+    /// The line at `index` (0..64) within this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn line(self, index: usize) -> LineAddr {
+        assert!(index < LINES_PER_PAGE as usize);
+        LineAddr(self.0 * LINES_PER_PAGE + index as u64)
+    }
+
+    /// Whether the page lies in the shared CXL-DSM region.
+    pub fn is_shared(self, cfg: &SystemConfig) -> bool {
+        self.base_addr().is_shared(cfg)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    #[test]
+    fn shared_private_split() {
+        let cfg = cfg();
+        let s = Addr::new(0);
+        assert!(s.is_shared(&cfg));
+        assert_eq!(s.home_host(&cfg), None);
+        let p = Addr::private(HostId::new(1), 4096, &cfg);
+        assert!(!p.is_shared(&cfg));
+        assert_eq!(p.home_host(&cfg), Some(HostId::new(1)));
+    }
+
+    #[test]
+    fn line_page_arithmetic() {
+        let a = Addr::new(PAGE_SIZE * 3 + LINE_SIZE * 5 + 7);
+        assert_eq!(a.page().raw(), 3);
+        assert_eq!(a.line().index_within_page(), 5);
+        assert_eq!(a.line().page(), a.page());
+        assert_eq!(a.page().line(5), a.line());
+    }
+
+    #[test]
+    fn page_line_base_round_trip() {
+        let p = PageNum::new(42);
+        assert_eq!(p.base_addr().page(), p);
+        let l = LineAddr::new(42 * LINES_PER_PAGE + 63);
+        assert_eq!(l.base_addr().line(), l);
+        assert_eq!(l.index_within_page(), 63);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_line_within_page(raw in 0u64..(1 << 40)) {
+            let a = Addr::new(raw);
+            let l = a.line();
+            prop_assert_eq!(l.page(), a.page());
+            prop_assert!(l.index_within_page() < LINES_PER_PAGE as usize);
+            prop_assert_eq!(a.page().line(l.index_within_page()), l);
+        }
+
+        #[test]
+        fn prop_private_round_trip(h in 0usize..32, off in 0u64..(1u64 << 39)) {
+            let cfg = SystemConfig::default();
+            let a = Addr::private(HostId::new(h), off, &cfg);
+            prop_assert!(!a.is_shared(&cfg));
+            prop_assert_eq!(a.home_host(&cfg), Some(HostId::new(h)));
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! System configuration, mirroring Table 2 of the paper.
+//!
+//! The default [`SystemConfig`] reproduces the paper's scaled-down
+//! configuration: 4 hosts × 4 out-of-order cores, 32 KB L1D, 2 MB/core
+//! shared LLC, DDR5-4800 local DRAM (1 channel/host) and CXL-DSM DRAM
+//! (2 channels), a 50 ns / 5 GB-per-direction CXL link, the CXL device
+//! coherence directory, and PIPM's remapping caches and migration threshold.
+//!
+//! One deliberate difference from the paper is documented in DESIGN.md §4:
+//! OS time quantities (migration intervals and kernel migration CPU costs)
+//! are expressed in *scaled* cycles so that multi-interval behaviour is
+//! observable in tractable simulations; the ratios between intervals and
+//! between cost and interval match the paper.
+
+use crate::time::{cycles_from_ns, Cycle};
+
+/// Configuration of one core's timing model (Table 2: 4 GHz, 6-wide,
+/// 224-entry ROB, 72-entry LQ, 56-entry SQ).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CoreConfig {
+    /// Superscalar retire width (instructions per cycle for non-memory work).
+    pub width: u32,
+    /// Reorder-buffer entries; bounds total in-flight memory operations.
+    pub rob_entries: usize,
+    /// Load-queue entries; bounds in-flight loads.
+    pub lq_entries: usize,
+    /// Store-queue entries; bounds in-flight stores.
+    pub sq_entries: usize,
+    /// Miss-status-holding registers: bounds in-flight cache *misses*
+    /// (accesses that leave the L1), bounding memory-system burst depth.
+    pub mshr_entries: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            width: 6,
+            rob_entries: 224,
+            lq_entries: 72,
+            sq_entries: 56,
+            mshr_entries: 8,
+        }
+    }
+}
+
+/// Configuration of one cache level.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Round-trip hit latency in CPU cycles.
+    pub hit_latency: Cycle,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by capacity, associativity, and 64 B lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not an exact power-of-two set count.
+    pub fn sets(&self) -> usize {
+        let lines = self.capacity_bytes / crate::LINE_SIZE;
+        let sets = lines as usize / self.ways;
+        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        sets
+    }
+}
+
+/// DDR5 DRAM timing configuration (Table 2: DDR5-4800,
+/// tRC-tRCD-tCL-tRP = 48-15-20-15 ns).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Banks per channel (row-buffer state + busy tracking per bank).
+    pub banks_per_channel: usize,
+    /// Row cycle time in ns (minimum interval between activates to a bank).
+    pub t_rc_ns: f64,
+    /// RAS-to-CAS delay in ns (activate → column access).
+    pub t_rcd_ns: f64,
+    /// CAS latency in ns (column access → data).
+    pub t_cl_ns: f64,
+    /// Row precharge time in ns.
+    pub t_rp_ns: f64,
+    /// Per-channel data bandwidth in GB/s (DDR5-4800 ≈ 38.4 GB/s).
+    pub channel_gbps: f64,
+    /// Bytes per row (row-buffer size) for row-hit detection.
+    pub row_bytes: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 1,
+            banks_per_channel: 32,
+            t_rc_ns: 48.0,
+            t_rcd_ns: 15.0,
+            t_cl_ns: 20.0,
+            t_rp_ns: 15.0,
+            channel_gbps: 38.4,
+            row_bytes: 8192,
+        }
+    }
+}
+
+/// CXL fabric configuration (Table 2: 50 ns link latency; ×16 lanes give
+/// 8 GB/s raw per direction in the scaled-down setting, ≈5 GB/s effective
+/// once the explicitly modelled per-message header overhead is paid).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CxlConfig {
+    /// One-way link propagation latency in ns.
+    pub link_latency_ns: f64,
+    /// Per-direction link bandwidth in GB/s.
+    pub link_gbps: f64,
+    /// Size in bytes of a request/control message on the link.
+    pub header_bytes: u64,
+}
+
+impl Default for CxlConfig {
+    fn default() -> Self {
+        CxlConfig {
+            link_latency_ns: 50.0,
+            link_gbps: 8.0,
+            header_bytes: 16,
+        }
+    }
+}
+
+/// CXL device coherence directory configuration (Table 2: 2048 sets × 16
+/// ways per slice, 16 slices, 32-cycle round trip at 2 GHz).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DirectoryConfig {
+    /// Sets per slice.
+    pub sets_per_slice: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Number of slices (address-interleaved).
+    pub slices: usize,
+    /// Round-trip access latency in *directory* clock cycles.
+    pub access_cycles_dir_clock: u64,
+    /// Directory clock in GHz.
+    pub dir_ghz: f64,
+}
+
+impl DirectoryConfig {
+    /// Total entry capacity across all slices.
+    pub fn capacity(&self) -> usize {
+        self.sets_per_slice * self.ways * self.slices
+    }
+
+    /// Round-trip latency converted to CPU cycles.
+    pub fn access_latency(&self) -> Cycle {
+        cycles_from_ns(self.access_cycles_dir_clock as f64 / self.dir_ghz)
+    }
+}
+
+impl Default for DirectoryConfig {
+    fn default() -> Self {
+        DirectoryConfig {
+            sets_per_slice: 2048,
+            ways: 16,
+            slices: 16,
+            access_cycles_dir_clock: 32,
+            dir_ghz: 2.0,
+        }
+    }
+}
+
+/// PIPM-specific hardware parameters (Table 2 bottom row).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PipmConfig {
+    /// Global remapping cache capacity in bytes (16 KB default), 2 B/entry.
+    pub global_remap_cache_bytes: u64,
+    /// Global remapping cache associativity.
+    pub global_remap_cache_ways: usize,
+    /// Global remapping cache round-trip latency in CPU cycles.
+    pub global_remap_cache_latency: Cycle,
+    /// Local remapping cache capacity in bytes (1 MB default), 4 B/entry.
+    pub local_remap_cache_bytes: u64,
+    /// Local remapping cache associativity.
+    pub local_remap_cache_ways: usize,
+    /// Local remapping cache round-trip latency in CPU cycles.
+    pub local_remap_cache_latency: Cycle,
+    /// Majority-vote migration threshold (global counter value that
+    /// initiates partial migration; also the initial local counter).
+    pub migration_threshold: u8,
+    /// Saturation value of the 4-bit local counter.
+    pub local_counter_max: u8,
+    /// Saturation value of the 6-bit global counter.
+    pub global_counter_max: u8,
+    /// Sector-migration extension: lines pulled into local DRAM per
+    /// incremental migration (1 = the paper's pure incremental scheme;
+    /// >1 prefetches spatial neighbours at the cost of extra transfers).
+    pub sector_lines: u32,
+}
+
+impl Default for PipmConfig {
+    fn default() -> Self {
+        PipmConfig {
+            global_remap_cache_bytes: 16 << 10,
+            global_remap_cache_ways: 8,
+            global_remap_cache_latency: 4,
+            local_remap_cache_bytes: 1 << 20,
+            local_remap_cache_ways: 8,
+            local_remap_cache_latency: 8,
+            migration_threshold: 8,
+            local_counter_max: 15,
+            global_counter_max: 63,
+            sector_lines: 1,
+        }
+    }
+}
+
+/// Cost model for kernel-based (whole-page) migration, following the
+/// paper's §5.1.4: 20 µs per 4 KB page for the initiating core and 5 µs for
+/// other cores, with batched TLB shootdowns and batched multi-threaded
+/// transfers. Values are in *scaled* cycles (see DESIGN.md §4 on time
+/// scaling); the defaults preserve the paper's cost∶interval ratios.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MigrationCostConfig {
+    /// Cycles charged to the initiating host's cores per migrated page
+    /// (the paper's 20 µs = 80 K cycles, reduced by the multi-threaded
+    /// batched-transfer optimizations it applies).
+    pub initiator_cycles_per_page: Cycle,
+    /// Cycles charged to every other core per migration batch (the
+    /// paper's 5 µs interruption, amortized by batched TLB shootdowns).
+    pub shootdown_cycles_per_batch: Cycle,
+    /// Fixed per-batch bookkeeping cycles on the initiating host (page-table
+    /// walks, CXL RPC issue).
+    pub batch_fixed_cycles: Cycle,
+    /// Kernel migration bandwidth: pages each host may move per million
+    /// cycles, accumulated as a token bucket across intervals. This keeps
+    /// total migration bandwidth constant across interval choices, exactly
+    /// what the paper's batching optimizations achieve — so short intervals
+    /// buy *timeliness*, not more traffic (Takeaway #3), while their fixed
+    /// per-batch costs grow (Takeaway #4).
+    pub pages_per_mcycle: f64,
+}
+
+impl Default for MigrationCostConfig {
+    fn default() -> Self {
+        MigrationCostConfig {
+            initiator_cycles_per_page: 8_000,
+            shootdown_cycles_per_batch: 2_000,
+            batch_fixed_cycles: 4_000,
+            pages_per_mcycle: 48.0,
+        }
+    }
+}
+
+/// Full system configuration (Table 2, scaled-down four-host system).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SystemConfig {
+    /// Number of hosts attached to the CXL memory node.
+    pub hosts: usize,
+    /// Cores per host.
+    pub cores_per_host: usize,
+    /// Core timing parameters.
+    pub core: CoreConfig,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared last-level cache (capacity given **per core**; the host LLC is
+    /// `llc_per_core × cores_per_host`).
+    pub llc_per_core: CacheConfig,
+    /// Host-local DRAM (1 × DDR5-4800 channel per host).
+    pub local_dram: DramConfig,
+    /// CXL-DSM DRAM on the memory node (2 × DDR5-4800 channels).
+    pub cxl_dram: DramConfig,
+    /// CXL link parameters (per host link to the memory node).
+    pub cxl: CxlConfig,
+    /// CXL device coherence directory.
+    pub directory: DirectoryConfig,
+    /// PIPM hardware parameters.
+    pub pipm: PipmConfig,
+    /// Kernel page-migration cost model (OS baselines).
+    pub migration_cost: MigrationCostConfig,
+    /// Size of the shared CXL-DSM region actually used by the workload, in
+    /// bytes. Workload generators set this to the (scaled) footprint.
+    pub shared_bytes: u64,
+    /// Capacity of each host's local DRAM available for migrated shared
+    /// pages, in bytes.
+    pub local_capacity_bytes: u64,
+    /// Migration interval for the OS baselines, in scaled cycles
+    /// (analogue of the paper's 10 ms default; see DESIGN.md §4).
+    pub migration_interval_cycles: Cycle,
+    /// Fraction of simulated references excluded from statistics as warm-up.
+    pub warmup_fraction: f64,
+}
+
+impl SystemConfig {
+    /// Total LLC capacity of one host in bytes.
+    pub fn host_llc_bytes(&self) -> u64 {
+        self.llc_per_core.capacity_bytes * self.cores_per_host as u64
+    }
+
+    /// Total number of cores in the system.
+    pub fn total_cores(&self) -> usize {
+        self.hosts * self.cores_per_host
+    }
+
+    /// One-way CXL link latency in CPU cycles.
+    pub fn link_latency(&self) -> Cycle {
+        cycles_from_ns(self.cxl.link_latency_ns)
+    }
+
+    /// Number of shared pages in the configured footprint.
+    pub fn shared_pages(&self) -> u64 {
+        self.shared_bytes / crate::PAGE_SIZE
+    }
+
+    /// The **experiment-scale** configuration used by the reproduction
+    /// harnesses: identical to [`SystemConfig::default`] (Table 2) except
+    /// that cache capacities are scaled down (L1D 32 KB → 16 KB, LLC
+    /// 2 MB/core → 256 KB/core) to match the 1/256 footprint scaling of
+    /// the workload generators, preserving the paper's footprint-to-cache
+    /// ratio regime (working sets must exceed the LLC for data placement
+    /// to matter; see DESIGN.md §4 and EXPERIMENTS.md).
+    pub fn experiment_scale() -> Self {
+        let mut cfg = SystemConfig::default();
+        cfg.l1d.capacity_bytes = 16 << 10;
+        cfg.llc_per_core.capacity_bytes = 256 << 10;
+        cfg
+    }
+
+    /// Validates internal consistency; call after hand-editing fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency
+    /// found (zero hosts, non-power-of-two cache geometry, empty footprint).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hosts == 0 || self.hosts > crate::HostId::MAX_HOSTS {
+            return Err(format!("hosts must be in 1..=32, got {}", self.hosts));
+        }
+        if self.cores_per_host == 0 {
+            return Err("cores_per_host must be nonzero".into());
+        }
+        if self.shared_bytes == 0 {
+            return Err("shared_bytes must be nonzero".into());
+        }
+        if self.shared_bytes % crate::PAGE_SIZE != 0 {
+            return Err("shared_bytes must be page aligned".into());
+        }
+        let lines = self.l1d.capacity_bytes / crate::LINE_SIZE;
+        if lines as usize % self.l1d.ways != 0 {
+            return Err("l1d geometry invalid".into());
+        }
+        if !(0.0..1.0).contains(&self.warmup_fraction) {
+            return Err("warmup_fraction must be in [0,1)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            hosts: 4,
+            cores_per_host: 4,
+            core: CoreConfig::default(),
+            l1d: CacheConfig {
+                capacity_bytes: 32 << 10,
+                ways: 8,
+                hit_latency: 4,
+            },
+            llc_per_core: CacheConfig {
+                capacity_bytes: 2 << 20,
+                ways: 16,
+                hit_latency: 24,
+            },
+            local_dram: DramConfig {
+                channels: 1,
+                ..DramConfig::default()
+            },
+            cxl_dram: DramConfig {
+                channels: 2,
+                ..DramConfig::default()
+            },
+            cxl: CxlConfig::default(),
+            directory: DirectoryConfig::default(),
+            pipm: PipmConfig::default(),
+            migration_cost: MigrationCostConfig::default(),
+            shared_bytes: 64 << 20,
+            local_capacity_bytes: 64 << 20,
+            migration_interval_cycles: 250_000,
+            warmup_fraction: 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SystemConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn table2_values() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.hosts, 4);
+        assert_eq!(cfg.core.rob_entries, 224);
+        assert_eq!(cfg.l1d.capacity_bytes, 32 << 10);
+        assert_eq!(cfg.l1d.sets(), 64);
+        assert_eq!(cfg.host_llc_bytes(), 8 << 20);
+        assert_eq!(cfg.link_latency(), 200); // 50 ns at 4 GHz
+        assert_eq!(cfg.directory.capacity(), 2048 * 16 * 16);
+        assert_eq!(cfg.directory.access_latency(), 64); // 32 cyc @ 2 GHz = 16 ns
+        assert_eq!(cfg.pipm.migration_threshold, 8);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut cfg = SystemConfig::default();
+        cfg.hosts = 0;
+        assert!(cfg.validate().is_err());
+        cfg = SystemConfig::default();
+        cfg.shared_bytes = 100; // not page aligned
+        assert!(cfg.validate().is_err());
+        cfg = SystemConfig::default();
+        cfg.warmup_fraction = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Simulated time.
+//!
+//! The simulator counts CPU cycles of the 4 GHz host cores (Table 2 of the
+//! paper). All other clock domains (the 2 GHz CXL directory, DDR5 timing,
+//! link serialization) are converted into CPU cycles at configuration time.
+
+/// A point in simulated time, measured in CPU cycles since simulation start.
+pub type Cycle = u64;
+
+/// Host core clock frequency in GHz (Table 2: 4 GHz out-of-order cores).
+pub const CPU_GHZ: f64 = 4.0;
+
+/// Converts nanoseconds of wall time into CPU cycles (rounding up).
+///
+/// # Example
+///
+/// ```
+/// use pipm_types::cycles_from_ns;
+/// assert_eq!(cycles_from_ns(50.0), 200); // 50 ns CXL link @ 4 GHz
+/// ```
+pub fn cycles_from_ns(ns: f64) -> Cycle {
+    (ns * CPU_GHZ).ceil() as Cycle
+}
+
+/// Converts CPU cycles back into nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use pipm_types::ns_from_cycles;
+/// assert!((ns_from_cycles(200) - 50.0).abs() < 1e-9);
+/// ```
+pub fn ns_from_cycles(cycles: Cycle) -> f64 {
+    cycles as f64 / CPU_GHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        for ns in [0.25, 1.0, 12.5, 50.0, 100.0] {
+            let c = cycles_from_ns(ns);
+            assert!((ns_from_cycles(c) - ns).abs() < 0.25, "ns={ns} c={c}");
+        }
+    }
+
+    #[test]
+    fn rounds_up() {
+        // 0.1 ns is less than one 4 GHz cycle but must not vanish.
+        assert_eq!(cycles_from_ns(0.1), 1);
+        assert_eq!(cycles_from_ns(0.0), 0);
+    }
+}

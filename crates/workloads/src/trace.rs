@@ -1,0 +1,225 @@
+//! Trace capture and replay.
+//!
+//! The paper's methodology collects Pin traces once and replays them
+//! (§5.1.2). This module provides the same workflow for the synthetic
+//! generators: capture any [`AccessStream`] to a compact binary file and
+//! replay it later, so experiments can be re-run bit-identically without
+//! regenerating (or even linking) the generators.
+//!
+//! ## Format
+//!
+//! A 16-byte header (`magic`, version, record count) followed by
+//! fixed-width 13-byte records: `nonmem: u32 | flags: u8 | addr: u64`,
+//! all little-endian. No compression — traces are transient artifacts.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pipm_workloads::{trace, Workload, WorkloadParams};
+//! use pipm_types::SystemConfig;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut cfg = SystemConfig::default();
+//! let params = WorkloadParams { refs_per_core: 1_000, seed: 1 };
+//! let mut streams = Workload::Bfs.streams(&mut cfg, &params);
+//! trace::capture(streams[0].as_mut(), "core0.trace")?;
+//! let replay = trace::TraceFile::open("core0.trace")?;
+//! assert_eq!(replay.len(), 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+use pipm_cpu::{AccessStream, TraceRecord};
+use pipm_types::Addr;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x5049_504d; // "PIPM"
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 13;
+
+/// Captures every remaining record of `stream` into `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn capture(stream: &mut dyn AccessStream, path: impl AsRef<Path>) -> io::Result<u64> {
+    let mut records = Vec::new();
+    while let Some(r) = stream.next_record() {
+        records.push(r);
+    }
+    write_records(&records, path)?;
+    Ok(records.len() as u64)
+}
+
+/// Writes a slice of records into `path` (header + fixed-width records).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_records(records: &[TraceRecord], path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in records {
+        w.write_all(&r.nonmem.to_le_bytes())?;
+        w.write_all(&[u8::from(r.is_write)])?;
+        w.write_all(&r.addr.raw().to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// An in-memory trace loaded from disk; iterate it or hand it to
+/// [`System::run`](../../pipm_core/struct.System.html) as an
+/// [`AccessStream`].
+#[derive(Clone, Debug)]
+pub struct TraceFile {
+    records: Vec<TraceRecord>,
+    cursor: usize,
+}
+
+impl TraceFile {
+    /// Loads a trace written by [`capture`] or [`write_records`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic number, version, or truncated
+    /// record section, and propagates underlying I/O errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut head = [0u8; 16];
+        r.read_exact(&mut head)?;
+        let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        let count = u64::from_le_bytes(head[8..16].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        }
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let mut body = Vec::new();
+        r.read_to_end(&mut body)?;
+        if body.len() != count as usize * RECORD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated trace file",
+            ));
+        }
+        let mut records = Vec::with_capacity(count as usize);
+        for chunk in body.chunks_exact(RECORD_BYTES) {
+            records.push(TraceRecord {
+                nonmem: u32::from_le_bytes(chunk[0..4].try_into().unwrap()),
+                is_write: chunk[4] != 0,
+                addr: Addr::new(u64::from_le_bytes(chunk[5..13].try_into().unwrap())),
+            });
+        }
+        Ok(TraceFile { records, cursor: 0 })
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records as a slice (for inspection).
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Resets replay to the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+impl AccessStream for TraceFile {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.records.get(self.cursor).copied();
+        if r.is_some() {
+            self.cursor += 1;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, WorkloadParams};
+    use pipm_types::SystemConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pipm_trace_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let mut cfg = SystemConfig::default();
+        let params = WorkloadParams {
+            refs_per_core: 500,
+            seed: 3,
+        };
+        let mut streams = Workload::Canneal.streams(&mut cfg, &params);
+        let path = tmp("round_trip");
+        let n = capture(streams[0].as_mut(), &path).unwrap();
+        assert_eq!(n, 500);
+        let mut replay = TraceFile::open(&path).unwrap();
+        assert_eq!(replay.len(), 500);
+        // Replaying yields the exact same records as a fresh generator.
+        let mut fresh = Workload::Canneal.streams(&mut cfg, &params);
+        let mut count = 0;
+        while let Some(expect) = fresh[0].next_record() {
+            assert_eq!(replay.next_record(), Some(expect));
+            count += 1;
+        }
+        assert_eq!(count, 500);
+        assert_eq!(replay.next_record(), None);
+        replay.rewind();
+        assert!(replay.next_record().is_some());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("bad_magic");
+        std::fs::write(&path, b"not a trace file at all....").unwrap();
+        let err = TraceFile::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let path = tmp("truncated");
+        let recs = vec![TraceRecord::read(1, Addr::new(64)); 4];
+        write_records(&recs, &path).unwrap();
+        // Chop off the last record's tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = TraceFile::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let path = tmp("empty");
+        write_records(&[], &path).unwrap();
+        let t = TraceFile::open(&path).unwrap();
+        assert!(t.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,68 @@
+//! Determinism and reproducibility guarantees: identical inputs give
+//! bit-identical statistics; different seeds give different traces but the
+//! same qualitative behaviour.
+
+use pipm_core::run_one;
+use pipm_types::{SchemeKind, SystemConfig};
+use pipm_workloads::{Workload, WorkloadParams};
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let params = WorkloadParams {
+        refs_per_core: 20_000,
+        seed: 77,
+    };
+    for scheme in [SchemeKind::Native, SchemeKind::Pipm, SchemeKind::Memtis] {
+        let a = run_one(Workload::Fluidanimate, scheme, SystemConfig::experiment_scale(), &params);
+        let b = run_one(Workload::Fluidanimate, scheme, SystemConfig::experiment_scale(), &params);
+        assert_eq!(a.stats, b.stats, "{scheme}: stats must be identical");
+    }
+}
+
+#[test]
+fn different_seeds_differ_but_agree_qualitatively() {
+    let mk = |seed| {
+        run_one(
+            Workload::Pr,
+            SchemeKind::Pipm,
+            SystemConfig::experiment_scale(),
+            &WorkloadParams {
+                refs_per_core: 40_000,
+                seed,
+            },
+        )
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_ne!(a.exec_cycles(), b.exec_cycles(), "seeds must matter");
+    let ra = a.local_hit_rate();
+    let rb = b.local_hit_rate();
+    assert!(
+        (ra - rb).abs() < 0.15,
+        "local hit rates should agree across seeds: {ra:.3} vs {rb:.3}"
+    );
+}
+
+#[test]
+fn per_core_streams_are_decorrelated() {
+    // Two cores of the same host must not generate identical traces.
+    let mut cfg = SystemConfig::experiment_scale();
+    let params = WorkloadParams {
+        refs_per_core: 1_000,
+        seed: 5,
+    };
+    let mut streams = Workload::Bfs.streams(&mut cfg, &params);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for _ in 0..1_000 {
+        a.push(pipm_cpu_next(&mut streams[0]));
+        b.push(pipm_cpu_next(&mut streams[1]));
+    }
+    assert_ne!(a, b);
+}
+
+fn pipm_cpu_next(
+    s: &mut Box<dyn pipm_cpu::AccessStream>,
+) -> Option<(u64, bool)> {
+    s.next_record().map(|r| (r.addr.raw(), r.is_write))
+}

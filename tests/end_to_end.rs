@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: full simulations exercising every layer
+//! (workload generator → core model → caches → coherence → fabric → DRAM →
+//! migration scheme) through the public API.
+
+use pipm_core::{run_one, RunResult};
+use pipm_types::{AccessClass, SchemeKind, SystemConfig};
+use pipm_workloads::{Workload, WorkloadParams};
+
+fn params() -> WorkloadParams {
+    WorkloadParams {
+        refs_per_core: 40_000,
+        seed: 21,
+    }
+}
+
+fn run(w: Workload, s: SchemeKind) -> RunResult {
+    run_one(w, s, SystemConfig::experiment_scale(), &params())
+}
+
+#[test]
+fn every_workload_simulates_under_every_scheme() {
+    // A smoke matrix over all 13 workloads × all 8 schemes with short
+    // traces: everything must complete, produce nonzero work, and keep the
+    // basic accounting identities.
+    let short = WorkloadParams {
+        refs_per_core: 4_000,
+        seed: 3,
+    };
+    for w in Workload::ALL {
+        for s in SchemeKind::ALL {
+            let r = run_one(w, s, SystemConfig::experiment_scale(), &short);
+            assert!(r.exec_cycles() > 0, "{w} {s}: no cycles");
+            assert!(r.stats.total_instructions() > 0, "{w} {s}: no instructions");
+            let total_refs: u64 = r.stats.cores.iter().map(|c| c.mem_refs).sum();
+            let classified: u64 = AccessClass::ALL
+                .iter()
+                .map(|&c| r.stats.class_total(c))
+                .sum();
+            assert_eq!(total_refs, classified, "{w} {s}: unclassified accesses");
+        }
+    }
+}
+
+#[test]
+fn native_serves_shared_data_remotely_only() {
+    let r = run(Workload::Bfs, SchemeKind::Native);
+    assert_eq!(r.stats.class_total(AccessClass::LocalShared), 0);
+    assert!(r.stats.class_total(AccessClass::CxlDram) > 0);
+    assert_eq!(r.stats.migration.pages_promoted, 0);
+}
+
+#[test]
+fn pipm_full_pipeline_effects() {
+    // Longer trace: line reuse beyond the LLC needs the hot windows to be
+    // swept more than once.
+    let long = WorkloadParams {
+        refs_per_core: 100_000,
+        seed: 21,
+    };
+    let r = run_one(Workload::Pr, SchemeKind::Pipm, SystemConfig::experiment_scale(), &long);
+    // Policy fired, mechanism migrated lines, coherence served them
+    // locally, and the remapping caches were exercised.
+    assert!(r.stats.migration.pages_promoted > 0);
+    assert!(r.stats.migration.lines_migrated_in > 0);
+    assert!(r.stats.class_total(AccessClass::LocalShared) > 0);
+    assert!(r.stats.local_remap_hits > 0);
+    assert!(r.local_hit_rate() > 0.05);
+    // PIPM performs no kernel migration work.
+    assert_eq!(r.stats.total_mgmt_stall(), 0);
+}
+
+#[test]
+fn kernel_migration_full_pipeline_effects() {
+    let r = run(Workload::Bfs, SchemeKind::Memtis);
+    assert!(r.stats.migration.pages_promoted > 0);
+    assert!(r.stats.total_mgmt_stall() > 0, "TLB/page-table costs charged");
+    assert!(
+        r.stats.class_total(AccessClass::LocalShared) > 0,
+        "promoted pages must serve locally for the owner"
+    );
+    assert!(
+        r.stats.class_total(AccessClass::InterHost) > 0,
+        "other hosts reach migrated pages via non-cacheable inter-host accesses"
+    );
+    assert!(r.stats.migration.evaluated_promotions > 0);
+}
+
+#[test]
+fn warmup_is_excluded_from_stats() {
+    let mut cfg = SystemConfig::experiment_scale();
+    cfg.warmup_fraction = 0.5;
+    let half = run_one(Workload::Cc, SchemeKind::Native, cfg, &params());
+    let full = run(Workload::Cc, SchemeKind::Native);
+    let half_refs: u64 = half.stats.cores.iter().map(|c| c.mem_refs).sum();
+    let full_refs: u64 = full.stats.cores.iter().map(|c| c.mem_refs).sum();
+    assert!(
+        half_refs < full_refs * 7 / 10,
+        "larger warmup must exclude more references ({half_refs} vs {full_refs})"
+    );
+}
+
+#[test]
+fn link_latency_hurts_native_more_than_pipm() {
+    // Needs PIPM's steady state (high local hit rate), hence the longer
+    // trace.
+    let long = WorkloadParams {
+        refs_per_core: 120_000,
+        seed: 21,
+    };
+    let base = SystemConfig::experiment_scale();
+    let base_native = run_one(Workload::Pr, SchemeKind::Native, base.clone(), &long);
+    let base_pipm = run_one(Workload::Pr, SchemeKind::Pipm, base, &long);
+    let mut cfg = SystemConfig::experiment_scale();
+    cfg.cxl.link_latency_ns = 100.0;
+    let slow_native = run_one(Workload::Pr, SchemeKind::Native, cfg.clone(), &long);
+    let slow_pipm = run_one(Workload::Pr, SchemeKind::Pipm, cfg, &long);
+    let native_slowdown = slow_native.exec_cycles() as f64 / base_native.exec_cycles() as f64;
+    let pipm_slowdown = slow_pipm.exec_cycles() as f64 / base_pipm.exec_cycles() as f64;
+    assert!(
+        native_slowdown > pipm_slowdown,
+        "doubling link latency must hurt the all-remote scheme more \
+         (native {native_slowdown:.3} vs pipm {pipm_slowdown:.3})"
+    );
+}
+
+#[test]
+fn bigger_local_remap_cache_never_hurts_much() {
+    let mut small = SystemConfig::experiment_scale();
+    small.pipm.local_remap_cache_bytes = 8 << 10;
+    let mut big = SystemConfig::experiment_scale();
+    big.pipm.local_remap_cache_bytes = 1 << 30;
+    let r_small = run_one(Workload::Sssp, SchemeKind::Pipm, small, &params());
+    let r_big = run_one(Workload::Sssp, SchemeKind::Pipm, big, &params());
+    // Allow small noise, but a tiny cache must not beat a huge one by much.
+    assert!(
+        r_big.exec_cycles() as f64 <= r_small.exec_cycles() as f64 * 1.02,
+        "big {} vs small {}",
+        r_big.exec_cycles(),
+        r_small.exec_cycles()
+    );
+    assert!(
+        r_big.stats.local_remap_misses <= r_small.stats.local_remap_misses,
+        "bigger cache cannot miss more"
+    );
+}

@@ -1,0 +1,1 @@
+//! Placeholder library for the integration-test package; all content lives in the [[test]] targets.

@@ -1,0 +1,157 @@
+//! Integration tests for the *shape* of the paper's headline results: the
+//! ordering of schemes that Figures 10–13 report. These run the real
+//! simulator at reduced scale, so they assert orderings and bands rather
+//! than absolute factors (EXPERIMENTS.md records the full-scale numbers).
+
+use pipm_core::{run_one, RunResult};
+use pipm_types::{SchemeKind, SystemConfig};
+use pipm_workloads::{Workload, WorkloadParams};
+
+fn params() -> WorkloadParams {
+    // Long enough for migrated lines to see reuse beyond the LLC (the
+    // dynamics the paper's steady-state runs amortize).
+    WorkloadParams {
+        refs_per_core: 140_000,
+        seed: 5,
+    }
+}
+
+fn run(w: Workload, s: SchemeKind) -> RunResult {
+    run_one(w, s, SystemConfig::experiment_scale(), &params())
+}
+
+fn speedup(base: &RunResult, r: &RunResult) -> f64 {
+    base.exec_cycles() as f64 / r.exec_cycles().max(1) as f64
+}
+
+#[test]
+fn fig10_shape_pipm_beats_native_and_bounded_by_ideal() {
+    // Graph kernels: the paper's strongest cases.
+    for w in [Workload::Pr, Workload::Sssp, Workload::Bfs] {
+        let native = run(w, SchemeKind::Native);
+        let pipm = run(w, SchemeKind::Pipm);
+        let ideal = run(w, SchemeKind::LocalOnly);
+        let s = speedup(&native, &pipm);
+        assert!(s > 1.10, "{w}: PIPM speedup {s:.3} too small");
+        assert!(
+            pipm.exec_cycles() >= ideal.exec_cycles(),
+            "{w}: PIPM cannot beat Local-only"
+        );
+    }
+}
+
+#[test]
+fn fig10_shape_pipm_beats_hw_static() {
+    // The ablation ordering: adaptive partial migration > static mapping.
+    for w in [Workload::Pr, Workload::Bfs] {
+        let native = run(w, SchemeKind::Native);
+        let pipm = speedup(&native, &run(w, SchemeKind::Pipm));
+        let hw = speedup(&native, &run(w, SchemeKind::HwStatic));
+        assert!(
+            pipm > hw,
+            "{w}: PIPM ({pipm:.3}) must beat HW-static ({hw:.3})"
+        );
+    }
+}
+
+#[test]
+fn fig10_shape_pipm_beats_kernel_baselines_on_graphs() {
+    for w in [Workload::Pr, Workload::Sssp] {
+        let native = run(w, SchemeKind::Native);
+        let pipm = speedup(&native, &run(w, SchemeKind::Pipm));
+        for s in [SchemeKind::Nomad, SchemeKind::Memtis, SchemeKind::Hemem] {
+            let base = speedup(&native, &run(w, s));
+            assert!(
+                pipm > base,
+                "{w}: PIPM ({pipm:.3}) must beat {s} ({base:.3})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig11_shape_pipm_highest_local_hit_rate() {
+    for w in [Workload::Pr, Workload::Bfs] {
+        let pipm = run(w, SchemeKind::Pipm).local_hit_rate();
+        for s in [SchemeKind::Nomad, SchemeKind::Memtis, SchemeKind::HwStatic] {
+            let other = run(w, s).local_hit_rate();
+            assert!(
+                pipm > other,
+                "{w}: PIPM local hit {pipm:.3} must exceed {s} {other:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig12_shape_pipm_interhost_stalls_small_and_below_hw_static() {
+    // Paper Fig. 12: PIPM's inter-host stall exposure is a small fraction
+    // of execution time, and the static mapping (HW-static) produces the
+    // largest exposure. (At our scale the token-bucket-limited kernel
+    // schemes migrate few pages and thus have near-zero exposure, so the
+    // paper's PIPM-vs-kernel ordering is not testable here; see
+    // EXPERIMENTS.md, Figure 12.)
+    let w = Workload::Bfs;
+    let native = run(w, SchemeKind::Native);
+    let stall = |r: &RunResult| r.stats.interhost_stall_fraction(native.exec_cycles());
+    let pipm = stall(&run(w, SchemeKind::Pipm));
+    let hw = stall(&run(w, SchemeKind::HwStatic));
+    assert!(pipm < 0.03, "PIPM inter-host exposure must stay small: {pipm:.4}");
+    assert!(
+        pipm < hw,
+        "PIPM ({pipm:.4}) must stay below HW-static ({hw:.4})"
+    );
+}
+
+#[test]
+fn fig13_shape_pipm_line_footprint_below_page_footprint() {
+    let w = Workload::Pr;
+    let r = run(w, SchemeKind::Pipm);
+    let pages = r.stats.footprint_page_fraction(r.cfg.shared_pages());
+    let lines = r.stats.footprint_line_fraction(r.cfg.shared_pages());
+    assert!(pages > 0.0 && lines > 0.0);
+    assert!(
+        lines < pages,
+        "partial migration moves fewer lines ({lines:.4}) than it reserves \
+         pages ({pages:.4})"
+    );
+}
+
+#[test]
+fn fig05_shape_per_host_policies_make_harmful_migrations() {
+    // The motivation result: single-host reasoning migrates pages whose
+    // inter-host penalty outweighs the local benefit.
+    let mut harmful_seen = false;
+    for w in [Workload::Ycsb, Workload::Canneal, Workload::Tc] {
+        for s in [SchemeKind::Nomad, SchemeKind::Memtis] {
+            let r = run(w, s);
+            if r.harmful_fraction() > 0.05 {
+                harmful_seen = true;
+            }
+        }
+    }
+    assert!(
+        harmful_seen,
+        "contested workloads must exhibit harmful migrations under \
+         per-host hotness policies"
+    );
+}
+
+#[test]
+fn bandwidth_sensitivity_shape() {
+    // Fig. 15: at half bandwidth PIPM's advantage over native grows.
+    let w = Workload::Pr;
+    let p = params();
+    let mk = |gbps: f64, scheme| {
+        let mut cfg = SystemConfig::experiment_scale();
+        cfg.cxl.link_gbps = gbps;
+        run_one(w, scheme, cfg, &p)
+    };
+    let full = speedup(&mk(8.0, SchemeKind::Native), &mk(8.0, SchemeKind::Pipm));
+    let half = speedup(&mk(4.0, SchemeKind::Native), &mk(4.0, SchemeKind::Pipm));
+    assert!(
+        half > full,
+        "halving link bandwidth must increase PIPM's relative gain \
+         (x8: {half:.3} vs x16: {full:.3})"
+    );
+}
