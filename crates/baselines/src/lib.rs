@@ -89,7 +89,13 @@ pub trait HotnessPolicy: std::fmt::Debug {
     /// `resident_at` is the page's current location (`None` = CXL memory),
     /// letting recency/frequency structures treat already-migrated pages
     /// appropriately.
-    fn record_access(&mut self, host: HostId, page: PageNum, is_write: bool, resident_at: Option<HostId>);
+    fn record_access(
+        &mut self,
+        host: HostId,
+        page: PageNum,
+        is_write: bool,
+        resident_at: Option<HostId>,
+    );
 
     /// Closes the current interval and returns migration decisions.
     fn end_interval(&mut self) -> IntervalOutcome;
@@ -155,10 +161,7 @@ impl ResidencyTracker {
         self.resident[host.index()].insert(page, iv);
         let mut demote = Vec::new();
         while self.resident[host.index()].len() > self.capacity_pages {
-            if let Some((&victim, _)) = self.resident[host.index()]
-                .iter()
-                .min_by_key(|(_, &t)| t)
-            {
+            if let Some((&victim, _)) = self.resident[host.index()].iter().min_by_key(|(_, &t)| t) {
                 self.resident[host.index()].remove(&victim);
                 demote.push((victim, host));
             } else {

@@ -68,10 +68,7 @@ impl HotnessPolicy for OsSkewPolicy {
             Some(owner) => {
                 // Post-migration: owner accesses strengthen the residency,
                 // other hosts' accesses weaken it (the local-counter rule).
-                let c = self
-                    .resident_counter
-                    .entry(page)
-                    .or_insert(self.threshold);
+                let c = self.resident_counter.entry(page).or_insert(self.threshold);
                 if owner == host {
                     self.tracker.touch(host, page);
                     *c = (*c + 1).min(self.local_counter_max);

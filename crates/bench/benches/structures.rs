@@ -5,7 +5,6 @@
 //! (`src/bin/*`), which regenerate the paper's tables and figures.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pipm_cache::SetAssoc;
 use pipm_coherence::{DevState, DeviceDirectory};
 use pipm_core::{run_one, GlobalRemap, LocalRemap};
@@ -16,6 +15,7 @@ use pipm_types::{
     SchemeKind, SystemConfig,
 };
 use pipm_workloads::{Workload, WorkloadParams};
+use std::time::Duration;
 
 fn bench_setassoc(c: &mut Criterion) {
     c.bench_function("cache/setassoc_lookup_insert", |b| {
@@ -37,7 +37,7 @@ fn bench_dram(c: &mut Criterion) {
         let mut t = 0;
         let mut i = 0u64;
         b.iter(|| {
-            t = dram.access(Addr::new((i * 8192) % (1 << 26)), t, i % 4 == 0);
+            t = dram.access(Addr::new((i * 8192) % (1 << 26)), t, i.is_multiple_of(4));
             i += 1;
         });
     });

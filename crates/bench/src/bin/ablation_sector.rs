@@ -3,19 +3,42 @@
 //! per-line incremental migration (sector = 1) and whole-page transfer.
 //! Larger sectors prefetch spatial locality at the cost of extra CXL
 //! transfers. See DESIGN.md §3 and EXPERIMENTS.md.
-use pipm_bench::{geomean, print_table, Harness};
+use pipm_bench::{geomean, print_table, Harness, RunSpec};
 use pipm_types::SchemeKind;
 
 fn main() {
     let h = Harness::from_env();
     let sectors = [1u32, 2, 4, 8];
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            std::iter::once(RunSpec::default_cfg(w, SchemeKind::Native)).chain(
+                sectors.into_iter().map(move |sec| {
+                    let variant = if sec == 1 {
+                        String::new()
+                    } else {
+                        format!("sector={sec}")
+                    };
+                    RunSpec::new(w, SchemeKind::Pipm, variant, move |cfg| {
+                        cfg.pipm.sector_lines = sec;
+                    })
+                }),
+            )
+        })
+        .collect();
+    h.prefetch(specs);
     let mut rows = Vec::new();
     let mut per_sector: Vec<Vec<f64>> = vec![Vec::new(); sectors.len()];
     for w in h.workloads() {
         let native = h.measure_default(w, SchemeKind::Native);
         let mut row = vec![w.label().to_string()];
         for (i, sec) in sectors.iter().enumerate() {
-            let variant = if *sec == 1 { String::new() } else { format!("sector={sec}") };
+            let variant = if *sec == 1 {
+                String::new()
+            } else {
+                format!("sector={sec}")
+            };
             let m = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
                 cfg.pipm.sector_lines = *sec;
             });

@@ -1,5 +1,5 @@
 //! Regenerates the paper's fig04 interval breakdown output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::fig04(&h);
+    pipm_bench::run_figure(&h, "fig04", pipm_bench::figs::fig04);
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's fig05 harmful output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::fig05(&h);
+    pipm_bench::run_figure(&h, "fig05", pipm_bench::figs::fig05);
 }

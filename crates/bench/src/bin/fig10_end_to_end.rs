@@ -1,5 +1,5 @@
 //! Regenerates the paper's fig10 end to end output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::fig10(&h);
+    pipm_bench::run_figure(&h, "fig10", pipm_bench::figs::fig10);
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's fig11 local hit output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::fig11(&h);
+    pipm_bench::run_figure(&h, "fig11", pipm_bench::figs::fig11);
 }

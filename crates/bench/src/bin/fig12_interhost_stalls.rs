@@ -1,5 +1,5 @@
 //! Regenerates the paper's fig12 interhost stalls output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::fig12(&h);
+    pipm_bench::run_figure(&h, "fig12", pipm_bench::figs::fig12);
 }

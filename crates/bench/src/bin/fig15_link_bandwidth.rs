@@ -1,5 +1,5 @@
 //! Regenerates the paper's fig15 link bandwidth output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::fig15(&h);
+    pipm_bench::run_figure(&h, "fig15", pipm_bench::figs::fig15);
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's fig17 global remap cache output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::fig17(&h);
+    pipm_bench::run_figure(&h, "fig17", pipm_bench::figs::fig17);
 }

@@ -2,19 +2,44 @@
 //! increases, the majority-vote approach continues to suppress
 //! performance-degrading migrations and consistently outperforms prior
 //! designs"). Sweeps 2/4/8 hosts at fixed per-host core count.
-use pipm_bench::{geomean, print_table, Harness};
+use pipm_bench::{geomean, print_table, Harness, RunSpec};
 use pipm_types::SchemeKind;
 
 fn main() {
     let h = Harness::from_env();
     let host_counts = [2usize, 4, 8];
     let schemes = [SchemeKind::Memtis, SchemeKind::Pipm];
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            host_counts.into_iter().flat_map(move |hosts| {
+                [SchemeKind::Native, SchemeKind::Memtis, SchemeKind::Pipm]
+                    .into_iter()
+                    .map(move |s| {
+                        let hv = if hosts == 4 {
+                            String::new()
+                        } else {
+                            format!("hosts={hosts}")
+                        };
+                        RunSpec::new(w, s, hv, move |cfg| {
+                            cfg.hosts = hosts;
+                        })
+                    })
+            })
+        })
+        .collect();
+    h.prefetch(specs);
     let mut rows = Vec::new();
     let mut per_cell: Vec<Vec<f64>> = vec![Vec::new(); host_counts.len() * schemes.len()];
     for w in h.workloads() {
         let mut row = vec![w.label().to_string()];
         for (hi, hosts) in host_counts.iter().enumerate() {
-            let hv = if *hosts == 4 { String::new() } else { format!("hosts={hosts}") };
+            let hv = if *hosts == 4 {
+                String::new()
+            } else {
+                format!("hosts={hosts}")
+            };
             let native = h.measure(w, SchemeKind::Native, &hv, |cfg| {
                 cfg.hosts = *hosts;
             });
@@ -31,13 +56,25 @@ fn main() {
     }
     print_table(
         "Host scaling: speedup over Native at the same host count",
-        &["workload", "2h_Memtis", "2h_PIPM", "4h_Memtis", "4h_PIPM", "8h_Memtis", "8h_PIPM"],
+        &[
+            "workload",
+            "2h_Memtis",
+            "2h_PIPM",
+            "4h_Memtis",
+            "4h_PIPM",
+            "8h_Memtis",
+            "8h_PIPM",
+        ],
         &rows,
     );
     print!("# geomean");
     for (hi, hosts) in host_counts.iter().enumerate() {
         for (si, s) in schemes.iter().enumerate() {
-            print!("\t{hosts}h_{}={:.3}", s.label(), geomean(&per_cell[hi * schemes.len() + si]));
+            print!(
+                "\t{hosts}h_{}={:.3}",
+                s.label(),
+                geomean(&per_cell[hi * schemes.len() + si])
+            );
         }
     }
     println!();

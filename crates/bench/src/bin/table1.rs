@@ -1,5 +1,5 @@
 //! Regenerates the paper's table1 output. See EXPERIMENTS.md.
 fn main() {
     let h = pipm_bench::Harness::from_env();
-    pipm_bench::figs::table1(&h);
+    pipm_bench::run_figure(&h, "table1", pipm_bench::figs::table1);
 }

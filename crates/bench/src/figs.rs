@@ -1,9 +1,20 @@
 //! One function per paper table/figure; binaries in `src/bin` are thin
 //! wrappers. Output is TSV with the same rows/series the paper plots.
 
-use crate::{geomean, print_table, Harness};
+use crate::{geomean, print_table, Harness, RunSpec};
 use pipm_types::{SchemeKind, SystemConfig};
 use pipm_workloads::Workload;
+
+/// Warms the run cache for the default-configuration matrix points
+/// `workloads × schemes` in parallel.
+fn prefetch_defaults(h: &Harness, schemes: &[SchemeKind]) {
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| schemes.iter().map(move |&s| RunSpec::default_cfg(w, s)))
+        .collect();
+    h.prefetch(specs);
+}
 
 /// Table 1: the evaluated workloads, their suites, paper footprints, and
 /// the scaled footprints the generators use.
@@ -22,7 +33,13 @@ pub fn table1(_h: &Harness) {
         .collect();
     print_table(
         "Table 1: evaluated workloads",
-        &["workload", "description", "suite", "paper_footprint", "scaled_footprint"],
+        &[
+            "workload",
+            "description",
+            "suite",
+            "paper_footprint",
+            "scaled_footprint",
+        ],
         &rows,
     );
 }
@@ -34,12 +51,18 @@ pub fn table2(_h: &Harness) {
     let cfg = SystemConfig::default();
     let exp = SystemConfig::experiment_scale();
     let rows = vec![
-        vec!["architecture".into(), format!("{} hosts × {} cores", cfg.hosts, cfg.cores_per_host)],
+        vec![
+            "architecture".into(),
+            format!("{} hosts × {} cores", cfg.hosts, cfg.cores_per_host),
+        ],
         vec![
             "cpu".into(),
             format!(
                 "{}-wide OoO, {}-entry ROB, {}-entry LQ, {}-entry SQ, {} MSHRs",
-                cfg.core.width, cfg.core.rob_entries, cfg.core.lq_entries, cfg.core.sq_entries,
+                cfg.core.width,
+                cfg.core.rob_entries,
+                cfg.core.lq_entries,
+                cfg.core.sq_entries,
                 cfg.core.mshr_entries
             ),
         ],
@@ -47,7 +70,9 @@ pub fn table2(_h: &Harness) {
             "l1d".into(),
             format!(
                 "{}KB {}-way, {}-cycle RT (experiment scale: {}KB)",
-                cfg.l1d.capacity_bytes >> 10, cfg.l1d.ways, cfg.l1d.hit_latency,
+                cfg.l1d.capacity_bytes >> 10,
+                cfg.l1d.ways,
+                cfg.l1d.hit_latency,
                 exp.l1d.capacity_bytes >> 10
             ),
         ],
@@ -55,16 +80,22 @@ pub fn table2(_h: &Harness) {
             "llc".into(),
             format!(
                 "{}MB/core {}-way, {}-cycle RT (experiment scale: {}KB/core)",
-                cfg.llc_per_core.capacity_bytes >> 20, cfg.llc_per_core.ways,
-                cfg.llc_per_core.hit_latency, exp.llc_per_core.capacity_bytes >> 10
+                cfg.llc_per_core.capacity_bytes >> 20,
+                cfg.llc_per_core.ways,
+                cfg.llc_per_core.hit_latency,
+                exp.llc_per_core.capacity_bytes >> 10
             ),
         ],
         vec![
             "dram".into(),
             format!(
                 "DDR5-4800, tRC-tRCD-tCL-tRP {}-{}-{}-{} ns; {} CXL + {} local channel(s)",
-                cfg.local_dram.t_rc_ns, cfg.local_dram.t_rcd_ns, cfg.local_dram.t_cl_ns,
-                cfg.local_dram.t_rp_ns, cfg.cxl_dram.channels, cfg.local_dram.channels
+                cfg.local_dram.t_rc_ns,
+                cfg.local_dram.t_rcd_ns,
+                cfg.local_dram.t_cl_ns,
+                cfg.local_dram.t_rp_ns,
+                cfg.cxl_dram.channels,
+                cfg.local_dram.channels
             ),
         ],
         vec![
@@ -78,21 +109,30 @@ pub fn table2(_h: &Harness) {
             "cxl_directory".into(),
             format!(
                 "{} sets × {} ways × {} slices, {}-cycle RT @ {} GHz",
-                cfg.directory.sets_per_slice, cfg.directory.ways, cfg.directory.slices,
-                cfg.directory.access_cycles_dir_clock, cfg.directory.dir_ghz
+                cfg.directory.sets_per_slice,
+                cfg.directory.ways,
+                cfg.directory.slices,
+                cfg.directory.access_cycles_dir_clock,
+                cfg.directory.dir_ghz
             ),
         ],
         vec![
             "pipm".into(),
             format!(
                 "{}KB global remap cache ({}cy), {}MB local remap cache ({}cy), threshold {}",
-                cfg.pipm.global_remap_cache_bytes >> 10, cfg.pipm.global_remap_cache_latency,
-                cfg.pipm.local_remap_cache_bytes >> 20, cfg.pipm.local_remap_cache_latency,
+                cfg.pipm.global_remap_cache_bytes >> 10,
+                cfg.pipm.global_remap_cache_latency,
+                cfg.pipm.local_remap_cache_bytes >> 20,
+                cfg.pipm.local_remap_cache_latency,
                 cfg.pipm.migration_threshold
             ),
         ],
     ];
-    print_table("Table 2: system configuration", &["parameter", "value"], &rows);
+    print_table(
+        "Table 2: system configuration",
+        &["parameter", "value"],
+        &rows,
+    );
 }
 
 /// Figure 4: execution-time breakdown for Nomad and Memtis at three
@@ -101,12 +141,39 @@ pub fn table2(_h: &Harness) {
 /// with the same ×10 ratios (DESIGN.md §4).
 pub fn fig04(h: &Harness) {
     let intervals = [("100ms", 2_500_000u64), ("10ms", 250_000), ("1ms", 25_000)];
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            std::iter::once(RunSpec::default_cfg(w, SchemeKind::Native)).chain(
+                [SchemeKind::Nomad, SchemeKind::Memtis]
+                    .into_iter()
+                    .flat_map(move |scheme| {
+                        intervals.into_iter().map(move |(_, cycles)| {
+                            let variant = if cycles == 250_000 {
+                                String::new()
+                            } else {
+                                format!("interval={cycles}")
+                            };
+                            RunSpec::new(w, scheme, variant, move |cfg| {
+                                cfg.migration_interval_cycles = cycles;
+                            })
+                        })
+                    }),
+            )
+        })
+        .collect();
+    h.prefetch(specs);
     let mut rows = Vec::new();
     for w in h.workloads() {
         let native = h.measure_default(w, SchemeKind::Native);
         for scheme in [SchemeKind::Nomad, SchemeKind::Memtis] {
             for (label, cycles) in intervals {
-                let variant = if cycles == 250_000 { String::new() } else { format!("interval={cycles}") };
+                let variant = if cycles == 250_000 {
+                    String::new()
+                } else {
+                    format!("interval={cycles}")
+                };
                 let m = h.measure(w, scheme, &variant, |cfg| {
                     cfg.migration_interval_cycles = cycles;
                 });
@@ -138,14 +205,22 @@ pub fn fig04(h: &Harness) {
                 .iter()
                 .map(|&w| {
                     let native = h.measure_default(w, SchemeKind::Native);
-                    let variant = if cycles == 250_000 { String::new() } else { format!("interval={cycles}") };
+                    let variant = if cycles == 250_000 {
+                        String::new()
+                    } else {
+                        format!("interval={cycles}")
+                    };
                     let m = h.measure(w, scheme, &variant, |cfg| {
                         cfg.migration_interval_cycles = cycles;
                     });
                     m.exec_cycles as f64 / native.exec_cycles as f64
                 })
                 .collect();
-            println!("# geomean {} @{label}: {:.3}", scheme.label(), geomean(&vals));
+            println!(
+                "# geomean {} @{label}: {:.3}",
+                scheme.label(),
+                geomean(&vals)
+            );
         }
     }
     println!();
@@ -154,6 +229,7 @@ pub fn fig04(h: &Harness) {
 /// Figure 5: percentage of harmful page migrations for Nomad and Memtis
 /// (default interval).
 pub fn fig05(h: &Harness) {
+    prefetch_defaults(h, &[SchemeKind::Nomad, SchemeKind::Memtis]);
     let mut rows = Vec::new();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
     for w in h.workloads() {
@@ -191,6 +267,7 @@ const FIG10_SCHEMES: [SchemeKind; 8] = [
 
 /// Figure 10: end-to-end speedup over Native CXL-DSM for every scheme.
 pub fn fig10(h: &Harness) {
+    prefetch_defaults(h, &FIG10_SCHEMES);
     let mut rows = Vec::new();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); FIG10_SCHEMES.len()];
     for w in h.workloads() {
@@ -226,6 +303,7 @@ pub fn fig11(h: &Harness) {
         SchemeKind::HwStatic,
         SchemeKind::Pipm,
     ];
+    prefetch_defaults(h, &schemes);
     let mut rows = Vec::new();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for w in h.workloads() {
@@ -260,6 +338,18 @@ pub fn fig12(h: &Harness) {
         SchemeKind::HwStatic,
         SchemeKind::Pipm,
     ];
+    prefetch_defaults(
+        h,
+        &[
+            SchemeKind::Native,
+            SchemeKind::Nomad,
+            SchemeKind::Memtis,
+            SchemeKind::Hemem,
+            SchemeKind::OsSkew,
+            SchemeKind::HwStatic,
+            SchemeKind::Pipm,
+        ],
+    );
     let mut rows = Vec::new();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for w in h.workloads() {
@@ -300,6 +390,16 @@ pub fn fig13(h: &Harness) {
         SchemeKind::Memtis,
         SchemeKind::OsSkew,
     ];
+    prefetch_defaults(
+        h,
+        &[
+            SchemeKind::Nomad,
+            SchemeKind::Hemem,
+            SchemeKind::Memtis,
+            SchemeKind::OsSkew,
+            SchemeKind::Pipm,
+        ],
+    );
     let mut rows = Vec::new();
     for w in h.workloads() {
         let mut row = vec![w.label().to_string()];
@@ -316,7 +416,16 @@ pub fn fig13(h: &Harness) {
     }
     print_table(
         "Figure 13: per-host local memory footprint / total footprint",
-        &["workload", "Nomad", "HeMem", "Memtis", "OS-skew", "HW-static", "PIPM-page", "PIPM-line"],
+        &[
+            "workload",
+            "Nomad",
+            "HeMem",
+            "Memtis",
+            "OS-skew",
+            "HW-static",
+            "PIPM-page",
+            "PIPM-line",
+        ],
         &rows,
     );
 }
@@ -325,12 +434,35 @@ pub fn fig13(h: &Harness) {
 /// (50 ns default, 100 ns switch-attached).
 pub fn fig14(h: &Harness) {
     let latencies = [("50ns", 50.0), ("100ns", 100.0)];
+    let lat_variant = |label: &str, ns: f64| {
+        if ns == 50.0 {
+            String::new()
+        } else {
+            format!("lat={label}")
+        }
+    };
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            latencies.into_iter().flat_map(move |(label, ns)| {
+                [SchemeKind::Native, SchemeKind::Pipm]
+                    .into_iter()
+                    .map(move |s| {
+                        RunSpec::new(w, s, lat_variant(label, ns), move |cfg| {
+                            cfg.cxl.link_latency_ns = ns;
+                        })
+                    })
+            })
+        })
+        .collect();
+    h.prefetch(specs);
     let mut rows = Vec::new();
     let mut per_lat: Vec<Vec<f64>> = vec![Vec::new(); latencies.len()];
     for w in h.workloads() {
         let mut row = vec![w.label().to_string()];
         for (i, (label, ns)) in latencies.iter().enumerate() {
-            let variant = if *ns == 50.0 { String::new() } else { format!("lat={ns}") };
+            let variant = lat_variant(label, *ns);
             let native = h.measure(w, SchemeKind::Native, &variant, |cfg| {
                 cfg.cxl.link_latency_ns = *ns;
             });
@@ -340,7 +472,6 @@ pub fn fig14(h: &Harness) {
             let speedup = native.exec_cycles as f64 / pipm.exec_cycles.max(1) as f64;
             per_lat[i].push(speedup);
             row.push(format!("{speedup:.3}"));
-            let _ = label;
         }
         rows.push(row);
     }
@@ -359,12 +490,37 @@ pub fn fig14(h: &Harness) {
 /// bandwidths (×8 / ×16 / ×32 lanes → 4 / 8 / 16 GB/s raw).
 pub fn fig15(h: &Harness) {
     let bws = [("x8", 4.0), ("x16", 8.0), ("x32", 16.0)];
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            bws.into_iter().flat_map(move |(_, gbps)| {
+                [SchemeKind::Native, SchemeKind::Pipm]
+                    .into_iter()
+                    .map(move |s| {
+                        let variant = if gbps == 8.0 {
+                            String::new()
+                        } else {
+                            format!("bw={gbps}")
+                        };
+                        RunSpec::new(w, s, variant, move |cfg| {
+                            cfg.cxl.link_gbps = gbps;
+                        })
+                    })
+            })
+        })
+        .collect();
+    h.prefetch(specs);
     let mut rows = Vec::new();
     let mut per_bw: Vec<Vec<f64>> = vec![Vec::new(); bws.len()];
     for w in h.workloads() {
         let mut row = vec![w.label().to_string()];
         for (i, (_, gbps)) in bws.iter().enumerate() {
-            let variant = if *gbps == 8.0 { String::new() } else { format!("bw={gbps}") };
+            let variant = if *gbps == 8.0 {
+                String::new()
+            } else {
+                format!("bw={gbps}")
+            };
             let native = h.measure(w, SchemeKind::Native, &variant, |cfg| {
                 cfg.cxl.link_gbps = *gbps;
             });
@@ -397,7 +553,12 @@ pub fn fig16(h: &Harness) {
         ("1MB", 1 << 20),
         ("inf", 1 << 40),
     ];
-    remap_cache_sweep(h, "Figure 16: performance vs local remapping cache size", &sizes, true);
+    remap_cache_sweep(
+        h,
+        "Figure 16: performance vs local remapping cache size",
+        &sizes,
+        true,
+    );
 }
 
 /// Figure 17: PIPM performance vs global remapping cache size, normalized
@@ -409,10 +570,48 @@ pub fn fig17(h: &Harness) {
         ("16KB", 16 << 10),
         ("inf", 1 << 40),
     ];
-    remap_cache_sweep(h, "Figure 17: performance vs global remapping cache size", &sizes, false);
+    remap_cache_sweep(
+        h,
+        "Figure 17: performance vs global remapping cache size",
+        &sizes,
+        false,
+    );
 }
 
 fn remap_cache_sweep(h: &Harness, title: &str, sizes: &[(&str, u64)], local: bool) {
+    let prefix = if local { "l" } else { "g" };
+    let mut specs = Vec::new();
+    for w in h.workloads() {
+        specs.push(RunSpec::new(
+            w,
+            SchemeKind::Pipm,
+            format!("{prefix}rc=inf"),
+            move |cfg| {
+                if local {
+                    cfg.pipm.local_remap_cache_bytes = 1 << 40;
+                } else {
+                    cfg.pipm.global_remap_cache_bytes = 1 << 40;
+                }
+            },
+        ));
+        for (label, bytes) in sizes {
+            let bytes = *bytes;
+            let is_default = (local && bytes == (1 << 20)) || (!local && bytes == (16 << 10));
+            let variant = if is_default {
+                String::new()
+            } else {
+                format!("{prefix}rc={label}")
+            };
+            specs.push(RunSpec::new(w, SchemeKind::Pipm, variant, move |cfg| {
+                if local {
+                    cfg.pipm.local_remap_cache_bytes = bytes;
+                } else {
+                    cfg.pipm.global_remap_cache_bytes = bytes;
+                }
+            }));
+        }
+    }
+    h.prefetch(specs);
     let mut rows = Vec::new();
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for w in h.workloads() {
@@ -464,13 +663,34 @@ fn remap_cache_sweep(h: &Harness, title: &str, sizes: &[(&str, u64)], local: boo
 /// (the paper observes similar performance for thresholds 4–16).
 pub fn threshold_sweep(h: &Harness) {
     let thresholds = [4u8, 8, 16];
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            thresholds.into_iter().map(move |t| {
+                let variant = if t == 8 {
+                    String::new()
+                } else {
+                    format!("thr={t}")
+                };
+                RunSpec::new(w, SchemeKind::Pipm, variant, move |cfg| {
+                    cfg.pipm.migration_threshold = t;
+                })
+            })
+        })
+        .collect();
+    h.prefetch(specs);
     let mut rows = Vec::new();
     let mut per_thr: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
     for w in h.workloads() {
         let base = h.measure_default(w, SchemeKind::Pipm);
         let mut row = vec![w.label().to_string()];
         for (i, t) in thresholds.iter().enumerate() {
-            let variant = if *t == 8 { String::new() } else { format!("thr={t}") };
+            let variant = if *t == 8 {
+                String::new()
+            } else {
+                format!("thr={t}")
+            };
             let m = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
                 cfg.pipm.migration_threshold = *t;
             });

@@ -7,12 +7,23 @@
 //! scheme, parameters), so figures sharing runs (Fig. 10–13 all use the
 //! default-configuration matrix) pay for them once.
 //!
+//! Simulation points fan out across worker threads: every figure first
+//! [`Harness::prefetch`]es its full `(workload, scheme, variant)` run
+//! set, which [`Harness::measure_many`] executes in parallel under a
+//! thread-safe run cache with in-flight deduplication (two figures never
+//! simulate the same point twice, even concurrently). Each `System` is
+//! fully self-contained, so parallel results are bit-identical to serial
+//! ones (`tests/determinism.rs` asserts this).
+//!
 //! Scale knobs (environment variables):
 //!
 //! * `PIPM_SCALE` — multiplies references per core (default 1.0 →
 //!   400 K refs/core; the EXPERIMENTS.md results use the default).
 //! * `PIPM_WORKLOADS` — comma-separated workload filter (default: all 13).
 //! * `PIPM_NO_CACHE` — ignore the on-disk result cache.
+//! * `PIPM_WORKERS` — worker-thread count (default: available
+//!   parallelism).
+//! * `PIPM_QUIET` — suppress the per-run observability lines on stderr.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,10 +33,12 @@ pub mod figs;
 use pipm_core::{run_one, RunResult};
 use pipm_types::{AccessClass, SchemeKind, SystemConfig};
 use pipm_workloads::{Workload, WorkloadParams};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Everything the figures need from one simulation run, in a flat,
 /// TSV-serializable form.
@@ -173,14 +186,103 @@ impl Measurement {
     }
 }
 
-/// The experiment driver: holds the scale parameters and the result cache.
+/// One simulation point: what [`Harness::measure_many`] fans out.
+pub struct RunSpec {
+    /// Workload to simulate.
+    pub workload: Workload,
+    /// Scheme to simulate.
+    pub scheme: SchemeKind,
+    /// Unique name of the configuration deviation ("" for default).
+    pub variant: String,
+    /// The configuration deviation itself.
+    pub cfg_mod: Box<dyn Fn(&mut SystemConfig) + Send + Sync>,
+}
+
+impl RunSpec {
+    /// A point with a configuration deviation named by `variant`.
+    pub fn new(
+        workload: Workload,
+        scheme: SchemeKind,
+        variant: impl Into<String>,
+        cfg_mod: impl Fn(&mut SystemConfig) + Send + Sync + 'static,
+    ) -> Self {
+        RunSpec {
+            workload,
+            scheme,
+            variant: variant.into(),
+            cfg_mod: Box::new(cfg_mod),
+        }
+    }
+
+    /// A default-configuration point (the Fig. 10–13 matrix).
+    pub fn default_cfg(workload: Workload, scheme: SchemeKind) -> Self {
+        RunSpec::new(workload, scheme, "", |_| {})
+    }
+}
+
+/// A run-cache slot: either a finished measurement or a claim by the
+/// worker currently simulating the point.
+enum Slot {
+    InFlight,
+    Done(Measurement),
+}
+
+/// Monotonic observability counters, readable as a snapshot to compute
+/// per-figure deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HarnessCounters {
+    /// Simulations actually executed.
+    pub runs: u64,
+    /// Run-cache hits (memory or preloaded from disk).
+    pub cache_hits: u64,
+    /// Simulated cycles accumulated by executed runs.
+    pub sim_cycles: u64,
+    /// Wall nanoseconds spent inside executed runs (summed across
+    /// workers; exceeds elapsed time when runs overlap).
+    pub run_wall_nanos: u64,
+}
+
+impl HarnessCounters {
+    /// Counter-wise difference (`self - earlier`).
+    pub fn since(&self, earlier: &HarnessCounters) -> HarnessCounters {
+        HarnessCounters {
+            runs: self.runs - earlier.runs,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            sim_cycles: self.sim_cycles - earlier.sim_cycles,
+            run_wall_nanos: self.run_wall_nanos - earlier.run_wall_nanos,
+        }
+    }
+}
+
+/// One figure's timing record, printed in the `all_figures` summary.
+#[derive(Clone, Debug)]
+pub struct FigureTiming {
+    /// Figure name (e.g. "fig10").
+    pub name: String,
+    /// Wall seconds spent in the figure function.
+    pub wall_secs: f64,
+    /// Counter deltas attributed to the figure.
+    pub counters: HarnessCounters,
+}
+
+/// The experiment driver: scale parameters, the thread-safe run cache,
+/// and the observability counters.
 pub struct Harness {
     /// References per core for every run.
     pub refs_per_core: u64,
     /// Master seed.
     pub seed: u64,
-    cache: RefCell<HashMap<String, Measurement>>,
+    workers: usize,
+    quiet: bool,
+    cache: Mutex<HashMap<String, Slot>>,
+    /// Signalled whenever an in-flight run completes (or is abandoned).
+    run_done: Condvar,
     cache_path: Option<PathBuf>,
+    runs: AtomicU64,
+    cache_hits: AtomicU64,
+    sim_cycles: AtomicU64,
+    run_wall_nanos: AtomicU64,
+    timings: Mutex<Vec<FigureTiming>>,
 }
 
 impl Harness {
@@ -196,6 +298,24 @@ impl Harness {
         } else {
             Some(PathBuf::from("target/pipm_results_cache.tsv"))
         };
+        let workers = std::env::var("PIPM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let mut h = Harness::with_settings(refs, 0x51_57, cache_path, workers);
+        h.quiet = std::env::var("PIPM_QUIET").is_ok();
+        h
+    }
+
+    /// Builds a harness with explicit settings (no environment reads);
+    /// used by tests. `cache_path = None` disables the on-disk cache.
+    pub fn with_settings(
+        refs_per_core: u64,
+        seed: u64,
+        cache_path: Option<PathBuf>,
+        workers: usize,
+    ) -> Self {
         let mut cache = HashMap::new();
         if let Some(p) = &cache_path {
             if let Ok(text) = std::fs::read_to_string(p) {
@@ -204,18 +324,31 @@ impl Harness {
                     if let (Some(key), Some(rest)) = (parts.next(), parts.next()) {
                         let fields: Vec<&str> = rest.split('\t').collect();
                         if let Some(m) = Measurement::from_tsv(&fields) {
-                            cache.insert(key.to_string(), m);
+                            cache.insert(key.to_string(), Slot::Done(m));
                         }
                     }
                 }
             }
         }
         Harness {
-            refs_per_core: refs,
-            seed: 0x51_57,
-            cache: RefCell::new(cache),
+            refs_per_core,
+            seed,
+            workers: workers.max(1),
+            quiet: true,
+            cache: Mutex::new(cache),
+            run_done: Condvar::new(),
             cache_path,
+            runs: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            run_wall_nanos: AtomicU64::new(0),
+            timings: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Number of worker threads [`Harness::measure_many`] fans out to.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The workload list, honouring the `PIPM_WORKLOADS` filter.
@@ -229,9 +362,20 @@ impl Harness {
         }
     }
 
+    fn key(&self, workload: Workload, scheme: SchemeKind, variant: &str) -> String {
+        format!(
+            "v6|{}|{}|{}|{}|{}",
+            workload, scheme, self.refs_per_core, self.seed, variant
+        )
+    }
+
     /// Runs (or retrieves from cache) `workload` under `scheme` with the
     /// experiment-scale configuration modified by `cfg_mod`. `variant`
     /// must uniquely name the configuration deviation ("" for default).
+    ///
+    /// Thread-safe: concurrent calls for the same point deduplicate —
+    /// one caller simulates, the others block until the result lands in
+    /// the cache.
     pub fn measure(
         &self,
         workload: Workload,
@@ -239,27 +383,59 @@ impl Harness {
         variant: &str,
         cfg_mod: impl FnOnce(&mut SystemConfig),
     ) -> Measurement {
-        let key = format!(
-            "v4|{}|{}|{}|{}|{}",
-            workload, scheme, self.refs_per_core, self.seed, variant
-        );
-        if let Some(m) = self.cache.borrow().get(&key) {
-            return m.clone();
+        let key = self.key(workload, scheme, variant);
+        {
+            let mut cache = self.cache.lock().expect("run cache poisoned");
+            loop {
+                match cache.get(&key) {
+                    Some(Slot::Done(m)) => {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return m.clone();
+                    }
+                    Some(Slot::InFlight) => {
+                        cache = self.run_done.wait(cache).expect("run cache poisoned");
+                    }
+                    None => {
+                        cache.insert(key.clone(), Slot::InFlight);
+                        break;
+                    }
+                }
+            }
         }
+        // This thread owns the point; simulate outside the lock. The
+        // guard releases the claim (and wakes waiters) if the run panics.
+        let guard = InFlightGuard {
+            harness: self,
+            key: &key,
+            done: false,
+        };
         let mut cfg = SystemConfig::experiment_scale();
         cfg_mod(&mut cfg);
         let params = WorkloadParams {
             refs_per_core: self.refs_per_core,
             seed: self.seed,
         };
+        let started = Instant::now();
         let run = run_one(workload, scheme, cfg, &params);
+        let wall = started.elapsed();
         let m = Measurement::from_run(&run);
-        self.cache.borrow_mut().insert(key.clone(), m.clone());
+        self.record_run(workload, scheme, variant, &m, wall);
+        {
+            let mut cache = self.cache.lock().expect("run cache poisoned");
+            cache.insert(key.clone(), Slot::Done(m.clone()));
+        }
+        let mut guard = guard;
+        guard.done = true;
+        drop(guard); // notifies waiters
         if let Some(p) = &self.cache_path {
             if let Some(dir) = p.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
-            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(p) {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+            {
                 let _ = writeln!(f, "{key}\t{}", m.to_tsv());
             }
         }
@@ -270,6 +446,171 @@ impl Harness {
     pub fn measure_default(&self, workload: Workload, scheme: SchemeKind) -> Measurement {
         self.measure(workload, scheme, "", |_| {})
     }
+
+    /// Measures every spec, fanning uncached points out across
+    /// [`Harness::workers`] scoped threads. Results come back in spec
+    /// order and are bit-identical to serial [`Harness::measure`] calls
+    /// (each `System` is self-contained; see `tests/determinism.rs`).
+    pub fn measure_many(&self, specs: &[RunSpec]) -> Vec<Measurement> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.workers.min(specs.len());
+        if threads <= 1 {
+            return specs
+                .iter()
+                .map(|s| self.measure(s.workload, s.scheme, &s.variant, |c| (s.cfg_mod)(c)))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Measurement>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let m = self.measure(spec.workload, spec.scheme, &spec.variant, |c| {
+                        (spec.cfg_mod)(c)
+                    });
+                    *results[i].lock().expect("result slot poisoned") = Some(m);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker completed every claimed spec")
+            })
+            .collect()
+    }
+
+    /// Warms the run cache for `specs` in parallel, discarding the
+    /// measurements. Figures call this up front so their (serial)
+    /// formatting loops hit a warm cache.
+    pub fn prefetch(&self, specs: Vec<RunSpec>) {
+        let _ = self.measure_many(&specs);
+    }
+
+    fn record_run(
+        &self,
+        workload: Workload,
+        scheme: SchemeKind,
+        variant: &str,
+        m: &Measurement,
+        wall: std::time::Duration,
+    ) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.sim_cycles.fetch_add(m.exec_cycles, Ordering::Relaxed);
+        self.run_wall_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        if !self.quiet {
+            let secs = wall.as_secs_f64().max(1e-9);
+            eprintln!(
+                "[run] {workload}/{scheme}{}{} wall={secs:.2}s cycles={:.1}M rate={:.1}Mcyc/s",
+                if variant.is_empty() { "" } else { "/" },
+                variant,
+                m.exec_cycles as f64 / 1e6,
+                m.exec_cycles as f64 / 1e6 / secs,
+            );
+        }
+    }
+
+    /// Snapshot of the observability counters.
+    pub fn counters(&self) -> HarnessCounters {
+        HarnessCounters {
+            runs: self.runs.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            run_wall_nanos: self.run_wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records a figure's timing for [`Harness::print_timing_summary`].
+    pub fn record_figure(&self, timing: FigureTiming) {
+        self.timings
+            .lock()
+            .expect("timing log poisoned")
+            .push(timing);
+    }
+
+    /// Prints the per-figure timing summary accumulated by
+    /// [`run_figure`] to stderr.
+    pub fn print_timing_summary(&self) {
+        let timings = self.timings.lock().expect("timing log poisoned");
+        if timings.is_empty() {
+            return;
+        }
+        eprintln!("[timing] figure        wall_s     runs  cache_hits  sim_Mcyc  Mcyc/s");
+        let mut total_wall = 0.0;
+        for t in timings.iter() {
+            total_wall += t.wall_secs;
+            let mcyc = t.counters.sim_cycles as f64 / 1e6;
+            eprintln!(
+                "[timing] {:<12} {:>8.2} {:>8} {:>11} {:>9.1} {:>7.1}",
+                t.name,
+                t.wall_secs,
+                t.counters.runs,
+                t.counters.cache_hits,
+                mcyc,
+                mcyc / t.wall_secs.max(1e-9),
+            );
+        }
+        let c = self.counters();
+        eprintln!(
+            "[timing] total        {:>8.2} {:>8} {:>11} {:>9.1} (workers={})",
+            total_wall,
+            c.runs,
+            c.cache_hits,
+            c.sim_cycles as f64 / 1e6,
+            self.workers,
+        );
+    }
+}
+
+/// Releases an in-flight claim if the owning run panics, so waiting
+/// threads retry instead of blocking forever.
+struct InFlightGuard<'a> {
+    harness: &'a Harness,
+    key: &'a str,
+    done: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            if let Ok(mut cache) = self.harness.cache.lock() {
+                if matches!(cache.get(self.key), Some(Slot::InFlight)) {
+                    cache.remove(self.key);
+                }
+            }
+        }
+        self.harness.run_done.notify_all();
+    }
+}
+
+/// Runs one figure function with timing and counter attribution, prints
+/// a one-line summary to stderr, and records it for the final
+/// [`Harness::print_timing_summary`] table.
+pub fn run_figure(h: &Harness, name: &str, f: impl FnOnce(&Harness)) {
+    let before = h.counters();
+    let started = Instant::now();
+    f(h);
+    let wall = started.elapsed().as_secs_f64();
+    let delta = h.counters().since(&before);
+    eprintln!(
+        "[figure {name}] wall={wall:.2}s runs={} cache_hits={} sim_cycles={:.1}M",
+        delta.runs,
+        delta.cache_hits,
+        delta.sim_cycles as f64 / 1e6,
+    );
+    h.record_figure(FigureTiming {
+        name: name.to_string(),
+        wall_secs: wall,
+        counters: delta,
+    });
 }
 
 /// Geometric mean of a non-empty slice (0.0 for empty input).
@@ -335,5 +676,54 @@ mod tests {
     fn malformed_tsv_rejected() {
         assert!(Measurement::from_tsv(&["1", "2"]).is_none());
         assert!(Measurement::from_tsv(&["x"; 17]).is_none());
+    }
+
+    #[test]
+    fn measure_caches_and_counts() {
+        let h = Harness::with_settings(10_000, 7, None, 2);
+        let a = h.measure_default(Workload::Bfs, SchemeKind::Native);
+        let b = h.measure_default(Workload::Bfs, SchemeKind::Native);
+        assert_eq!(a, b);
+        let c = h.counters();
+        assert_eq!(c.runs, 1, "second call must hit the cache");
+        assert_eq!(c.cache_hits, 1);
+        assert!(c.sim_cycles > 0);
+    }
+
+    #[test]
+    fn measure_many_matches_serial_order() {
+        let specs = vec![
+            RunSpec::default_cfg(Workload::Bfs, SchemeKind::Native),
+            RunSpec::default_cfg(Workload::Bfs, SchemeKind::LocalOnly),
+            RunSpec::new(Workload::Bfs, SchemeKind::Native, "lat=100", |cfg| {
+                cfg.cxl.link_latency_ns = 100.0;
+            }),
+        ];
+        let par = Harness::with_settings(10_000, 7, None, 4);
+        let results = par.measure_many(&specs);
+        let serial = Harness::with_settings(10_000, 7, None, 1);
+        for (spec, m) in specs.iter().zip(&results) {
+            let s = serial.measure(spec.workload, spec.scheme, &spec.variant, |c| {
+                (spec.cfg_mod)(c)
+            });
+            assert_eq!(&s, m, "parallel must be bit-identical to serial");
+        }
+        assert_eq!(par.counters().runs, 3);
+    }
+
+    #[test]
+    fn concurrent_same_point_deduplicates() {
+        let h = Harness::with_settings(10_000, 3, None, 4);
+        let specs: Vec<RunSpec> = (0..8)
+            .map(|_| RunSpec::default_cfg(Workload::Cc, SchemeKind::Native))
+            .collect();
+        let results = h.measure_many(&specs);
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            h.counters().runs,
+            1,
+            "in-flight dedup must collapse to one run"
+        );
+        assert_eq!(h.counters().cache_hits, 7);
     }
 }

@@ -163,7 +163,10 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
     /// Reads `key` without updating recency or statistics.
     pub fn peek(&self, key: K) -> Option<&M> {
         let set = self.set_of(key);
-        self.storage[set].iter().find(|w| w.key == key).map(|w| &w.meta)
+        self.storage[set]
+            .iter()
+            .find(|w| w.key == key)
+            .map(|w| &w.meta)
     }
 
     /// Mutates `key`'s metadata without updating recency or statistics.

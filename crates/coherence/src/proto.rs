@@ -668,7 +668,8 @@ mod tests {
 
     fn checked(line: &mut LineState, e: Event) -> Vec<Action> {
         let a = line.step(e).unwrap_or_else(|err| panic!("{err}"));
-        line.check_invariants().unwrap_or_else(|v| panic!("{v} after {e:?}"));
+        line.check_invariants()
+            .unwrap_or_else(|v| panic!("{v} after {e:?}"));
         a
     }
 
@@ -877,7 +878,9 @@ mod tests {
         let mut l = LineState::new(3);
         let mut x: u64 = 0x9e3779b97f4a7c15;
         for step in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let evs = l.enabled_events();
             let e = evs[(x >> 33) as usize % evs.len()];
             l.step(e).unwrap_or_else(|err| panic!("step {step}: {err}"));

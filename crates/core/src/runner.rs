@@ -76,6 +76,46 @@ pub fn run_one(
     }
 }
 
+/// One job for [`run_many`]: the full argument set of a [`run_one`] call.
+pub type RunJob = (Workload, SchemeKind, SystemConfig, WorkloadParams);
+
+/// Runs every job across `workers` scoped threads, returning results in
+/// job order. Each job builds its own self-contained [`System`], so the
+/// results are bit-identical to serial [`run_one`] calls regardless of
+/// scheduling (asserted by `tests/determinism.rs`).
+pub fn run_many(jobs: &[RunJob], workers: usize) -> Vec<RunResult> {
+    let threads = workers.max(1).min(jobs.len());
+    if threads <= 1 {
+        return jobs
+            .iter()
+            .map(|(w, s, cfg, p)| run_one(*w, *s, cfg.clone(), p))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((w, s, cfg, p)) = jobs.get(i) else {
+                    break;
+                };
+                let r = run_one(*w, *s, cfg.clone(), p);
+                *slots[i].lock().expect("run_many slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("run_many slot poisoned")
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
 /// Runs `workload` under every scheme in `schemes`, returning results in
 /// order. Convenience for the figure harnesses.
 pub fn run_schemes(

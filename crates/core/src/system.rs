@@ -183,12 +183,19 @@ impl System {
                         HememPolicy::new(cfg.hosts, capacity_pages, HememPolicy::DEFAULT_THRESHOLD)
                             .with_budget(budget),
                     ),
-                    SchemeKind::OsSkew => {
-                        Box::new(OsSkewPolicy::new(cfg.hosts, capacity_pages, threshold, budget))
-                    }
+                    SchemeKind::OsSkew => Box::new(OsSkewPolicy::new(
+                        cfg.hosts,
+                        capacity_pages,
+                        threshold,
+                        budget,
+                    )),
                     other => unreachable!("{other:?} handled above"),
                 };
-                let init_mult = if kernel == SchemeKind::Nomad { 0.5 } else { 1.0 };
+                let init_mult = if kernel == SchemeKind::Nomad {
+                    0.5
+                } else {
+                    1.0
+                };
                 SchemeState::Kernel(KernelState {
                     policy,
                     next_interval: cfg.migration_interval_cycles,
@@ -200,7 +207,9 @@ impl System {
         };
         let total_cores = cfg.total_cores();
         System {
-            cores: (0..total_cores).map(|_| CoreModel::new(&cfg.core)).collect(),
+            cores: (0..total_cores)
+                .map(|_| CoreModel::new(&cfg.core))
+                .collect(),
             hosts,
             fabric: Fabric::new(cfg.hosts, &cfg.cxl),
             cxl_dram: Dram::new(&cfg.cxl_dram),
@@ -279,9 +288,10 @@ impl System {
                 if meta.state == LState::Me {
                     let page = line.page();
                     let idx = line.index_within_page();
-                    let e = host.remap.entry(page).ok_or_else(|| {
-                        format!("H{hi}: ME line {line} without remap entry")
-                    })?;
+                    let e = host
+                        .remap
+                        .entry(page)
+                        .ok_or_else(|| format!("H{hi}: ME line {line} without remap entry"))?;
                     if !e.line_migrated(idx) {
                         return Err(format!("H{hi}: ME line {line} without in-memory bit"));
                     }
@@ -304,7 +314,14 @@ impl System {
         let locals: Vec<String> = self
             .hosts
             .iter()
-            .map(|h| format!("{}q/{}bus/{}a", h.dram.stats().queue_cycles, h.dram.stats().bus_wait_cycles, h.dram.stats().accesses))
+            .map(|h| {
+                format!(
+                    "{}q/{}bus/{}a",
+                    h.dram.stats().queue_cycles,
+                    h.dram.stats().bus_wait_cycles,
+                    h.dram.stats().accesses
+                )
+            })
             .collect();
         format!(
             "link: msgs={} bytes={} qcyc={} migbytes={} | cxl_dram: acc={} q={} rowhit={:.2} | local: {}",
@@ -459,7 +476,10 @@ impl System {
                 // an upgrade even on an L1 hit.
                 let needs_upgrade = matches!(
                     self.hosts[hi].llc.peek(line),
-                    Some(LlcMeta { state: LState::S, .. })
+                    Some(LlcMeta {
+                        state: LState::S,
+                        ..
+                    })
                 );
                 if needs_upgrade {
                     let (done, class, q) = self.upgrade_shared(hi, line, now);
@@ -540,24 +560,35 @@ impl System {
     }
 
     /// S→M upgrade: invalidate other sharers via the device directory.
-    fn upgrade_shared(&mut self, hi: usize, line: LineAddr, now: Cycle) -> (Cycle, AccessClass, Cycle) {
+    fn upgrade_shared(
+        &mut self,
+        hi: usize,
+        line: LineAddr,
+        now: Cycle,
+    ) -> (Cycle, AccessClass, Cycle) {
         let host = HostId::new(hi);
-        let up = self.fabric.send(host, Dir::ToDevice, now, self.fabric.header_bytes(), false);
+        let up = self
+            .fabric
+            .send(host, Dir::ToDevice, now, self.fabric.header_bytes(), false);
         let mut t = up.at + self.cfg.directory.access_latency();
         let mut queued = up.queued_behind_migration;
         if let Some(DevState::Shared(set)) = self.devdir.lookup(line) {
             let mut max_ack = t;
             for sharer in set.iter().filter(|&s| s != host) {
-                let inv = self
-                    .fabric
-                    .send(sharer, Dir::ToHost, t, self.fabric.header_bytes(), false);
+                let inv =
+                    self.fabric
+                        .send(sharer, Dir::ToHost, t, self.fabric.header_bytes(), false);
                 queued += inv.queued_behind_migration;
                 // Invalidate the sharer's cached copies.
                 self.invalidate_host_line(sharer.index(), line);
                 // Ack returns to the device.
-                let ack = self
-                    .fabric
-                    .send(sharer, Dir::ToDevice, inv.at, self.fabric.header_bytes(), false);
+                let ack = self.fabric.send(
+                    sharer,
+                    Dir::ToDevice,
+                    inv.at,
+                    self.fabric.header_bytes(),
+                    false,
+                );
                 max_ack = max_ack.max(ack.at);
             }
             t = max_ack;
@@ -570,7 +601,9 @@ impl System {
             m.state = LState::M;
             m.dirty = true;
         }
-        let down = self.fabric.send(host, Dir::ToHost, t, self.fabric.header_bytes(), false);
+        let down = self
+            .fabric
+            .send(host, Dir::ToHost, t, self.fabric.header_bytes(), false);
         queued += down.queued_behind_migration;
         (down.at, AccessClass::CxlDram, queued)
     }
@@ -604,13 +637,24 @@ impl System {
         let mut t = up.at + self.cfg.directory.access_latency();
 
         // PIPM: global remapping cache lookup + majority vote at the
-        // device. The cache is write-back: vote updates on a miss allocate
-        // an entry without a synchronous DRAM walk (the table read is only
-        // needed on the migrated-line forward path, §4.3.3).
+        // device. A cache miss launches a table walk in CXL DRAM
+        // (2 B/entry, §4.2). The device speculates on the common case —
+        // the entry says "not migrated" — and starts the data path
+        // immediately, but the response cannot leave the device before
+        // the walk confirms the entry, so the access pays the walk's bank
+        // and bus occupancy plus any excess of the walk over the data
+        // path (Figure 17 measures exactly this penalty as the cache
+        // shrinks and walks contend for device-DRAM bandwidth).
+        let mut walk_ready: Cycle = 0;
         if let Some(global) = global {
             let page = line.page();
             let lr = global.lookup(page);
             t += lr.latency;
+            if !lr.cache_hit {
+                walk_ready =
+                    self.cxl_dram
+                        .access(Addr::new(TABLE_WALK_BASE + page.raw() * 2), t, false);
+            }
             let threshold = self.cfg.pipm.migration_threshold;
             if global.current(page).is_none() && !self.hints.is_pinned(page) {
                 let preferred = self.hints.preferred(page) == Some(host);
@@ -626,12 +670,11 @@ impl System {
         let (done, class) = match dev {
             Some(DevState::Modified(owner)) if owner != host => {
                 // Four-hop forward through the owning host's cache.
-                let fwd = self
-                    .fabric
-                    .send(owner, Dir::ToHost, t, self.fabric.header_bytes(), false);
+                let fwd =
+                    self.fabric
+                        .send(owner, Dir::ToHost, t, self.fabric.header_bytes(), false);
                 let mut tt = fwd.at + self.cfg.llc_per_core.hit_latency;
-                let dirty = self
-                    .hosts[owner.index()]
+                let dirty = self.hosts[owner.index()]
                     .llc
                     .peek(line)
                     .map(|m| m.dirty || m.state == LState::M)
@@ -725,7 +768,7 @@ impl System {
             },
         };
         self.install(hi, li, line, state, is_write, issue);
-        (done, class, queued)
+        (done.max(walk_ready), class, queued)
     }
 
     /// Kernel-scheme shared access: consult the page map.
@@ -754,22 +797,20 @@ impl System {
                 // Non-cacheable four-hop access to the owning host's local
                 // memory (GIM semantics, Figure 3 ①–⑤). No cache fill.
                 k.harm.on_access(page, host);
-                let up = self
-                    .fabric
-                    .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
-                let fwd = self.fabric.send(
-                    owner,
-                    Dir::ToHost,
-                    up.at,
-                    self.fabric.header_bytes(),
-                    false,
-                );
+                let up =
+                    self.fabric
+                        .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
+                let fwd =
+                    self.fabric
+                        .send(owner, Dir::ToHost, up.at, self.fabric.header_bytes(), false);
                 let tt = fwd.at + self.cfg.llc_per_core.hit_latency; // owner local dir
                 let tt = self.hosts[owner.index()]
                     .dram
                     .access_shadow(line.base_addr(), tt);
                 let back = self.fabric.send(owner, Dir::ToDevice, tt, DATA_MSG, false);
-                let down = self.fabric.send(host, Dir::ToHost, back.at, DATA_MSG, false);
+                let down = self
+                    .fabric
+                    .send(host, Dir::ToHost, back.at, DATA_MSG, false);
                 let queued = up.queued_behind_migration
                     + fwd.queued_behind_migration
                     + back.queued_behind_migration
@@ -808,8 +849,7 @@ impl System {
         let lr = self.hosts[hi].remap.lookup(page);
         let mut t = t + lr.latency;
         if !lr.cache_hit {
-            t = self
-                .hosts[hi]
+            t = self.hosts[hi]
                 .dram
                 .access(Addr::new(TABLE_WALK_BASE + page.raw() * 4), t, false);
         }
@@ -861,21 +901,17 @@ impl System {
                 let result = if owner_entry_bit {
                     // Cases ②/⑤/⑥: coherent 4-hop fetch from the owner's
                     // local memory (or cache) + incremental migration back.
-                    let up = self
-                        .fabric
-                        .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
+                    let up =
+                        self.fabric
+                            .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
                     let mut tt = up.at + self.cfg.directory.access_latency();
                     // CXL memory read verifies the I′ in-memory bit; the
                     // owning host comes from the global remapping cache
                     // (hot for contested pages).
                     tt = self.cxl_dram.access(line.base_addr(), tt, false);
-                    let fwd = self.fabric.send(
-                        owner,
-                        Dir::ToHost,
-                        tt,
-                        self.fabric.header_bytes(),
-                        false,
-                    );
+                    let fwd =
+                        self.fabric
+                            .send(owner, Dir::ToHost, tt, self.fabric.header_bytes(), false);
                     tt = fwd.at + self.cfg.llc_per_core.hit_latency;
                     let cached = self.hosts[owner.index()].llc.peek(line).is_some();
                     if cached {
@@ -909,7 +945,9 @@ impl System {
                     if let Some(r) = self.devdir.update(line, new_state) {
                         self.handle_recall(r, back.at);
                     }
-                    let down = self.fabric.send(host, Dir::ToHost, back.at, DATA_MSG, false);
+                    let down = self
+                        .fabric
+                        .send(host, Dir::ToHost, back.at, DATA_MSG, false);
                     let queued = up.queued_behind_migration
                         + fwd.queued_behind_migration
                         + back.queued_behind_migration
@@ -938,7 +976,11 @@ impl System {
                 // Unmigrated page (or our own static/partial pages were
                 // handled above): device path with majority voting for
                 // PIPM.
-                let vote = if static_map.is_none() { Some(global) } else { None };
+                let vote = if static_map.is_none() {
+                    Some(global)
+                } else {
+                    None
+                };
                 self.shared_via_cxl(hi, li, line, is_write, t, vote)
             }
         }
@@ -961,8 +1003,7 @@ impl System {
             if i == idx {
                 continue;
             }
-            let already = self
-                .hosts[hi]
+            let already = self.hosts[hi]
                 .remap
                 .entry(page)
                 .map(|e| e.line_migrated(i))
@@ -982,7 +1023,9 @@ impl System {
                 .send(host, Dir::ToDevice, now, self.fabric.header_bytes(), false);
             let t = self.cxl_dram.access(line.base_addr(), up.at, false);
             let down = self.fabric.send(host, Dir::ToHost, t, DATA_MSG, true);
-            self.hosts[hi].dram.write_buffered(line.base_addr(), down.at);
+            self.hosts[hi]
+                .dram
+                .write_buffered(line.base_addr(), down.at);
             self.hosts[hi].remap.set_line(page, i);
             self.stats.migration.lines_migrated_in += 1;
             self.stats.migration.transfer_bytes += 64;
@@ -1005,7 +1048,9 @@ impl System {
         }
         if n > 0 {
             let bytes = n * 64;
-            let t = self.hosts[oi].dram.bulk_transfer(page.base_addr(), now, bytes);
+            let t = self.hosts[oi]
+                .dram
+                .bulk_transfer(page.base_addr(), now, bytes);
             let arr = self.fabric.send(owner, Dir::ToDevice, t, bytes, true);
             self.cxl_dram.bulk_transfer(page.base_addr(), arr.at, bytes);
             self.stats.migration.transfer_bytes += bytes;
@@ -1031,7 +1076,15 @@ impl System {
 
     /// Installs a line in LLC + requesting core's L1, handling the LLC
     /// victim. `now` is the fill time, used to timestamp victim traffic.
-    fn install(&mut self, hi: usize, li: usize, line: LineAddr, state: LState, is_write: bool, now: Cycle) {
+    fn install(
+        &mut self,
+        hi: usize,
+        li: usize,
+        line: LineAddr,
+        state: LState,
+        is_write: bool,
+        now: Cycle,
+    ) {
         let meta = LlcMeta {
             state,
             dirty: is_write || state == LState::M,
@@ -1155,8 +1208,7 @@ impl System {
         self.stats.directory_recalls += 1;
         match recall.state {
             DevState::Modified(owner) => {
-                let dirty = self
-                    .hosts[owner.index()]
+                let dirty = self.hosts[owner.index()]
                     .llc
                     .peek(recall.line)
                     .map(|m| m.dirty)
@@ -1164,7 +1216,8 @@ impl System {
                 self.invalidate_host_line(owner.index(), recall.line);
                 if dirty {
                     let arr = self.fabric.send(owner, Dir::ToDevice, now, DATA_MSG, false);
-                    self.cxl_dram.write_buffered(recall.line.base_addr(), arr.at);
+                    self.cxl_dram
+                        .write_buffered(recall.line.base_addr(), arr.at);
                 }
             }
             DevState::Shared(set) => {
@@ -1228,9 +1281,12 @@ impl System {
         for (page, owner) in &outcome.demotions {
             let oi = owner.index();
             self.flush_page(oi, *page);
-            let t = self.hosts[oi].dram.bulk_transfer(page.base_addr(), now, PAGE_SIZE);
+            let t = self.hosts[oi]
+                .dram
+                .bulk_transfer(page.base_addr(), now, PAGE_SIZE);
             let arr = self.fabric.send(*owner, Dir::ToDevice, t, PAGE_SIZE, true);
-            self.cxl_dram.bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
+            self.cxl_dram
+                .bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
             self.page_location.remove(page);
             k.harm.on_demote(*page);
             self.hosts[oi].resident_pages = self.hosts[oi].resident_pages.saturating_sub(1);
@@ -1248,15 +1304,20 @@ impl System {
             for i in 0..LINES_PER_PAGE as usize {
                 self.devdir.remove(page.line(i));
             }
-            let t = self.cxl_dram.bulk_transfer(page.base_addr(), now, PAGE_SIZE);
+            let t = self
+                .cxl_dram
+                .bulk_transfer(page.base_addr(), now, PAGE_SIZE);
             self.fabric.send(*dest, Dir::ToHost, t, PAGE_SIZE, true);
-            self.hosts[di].dram.bulk_transfer(page.base_addr(), t, PAGE_SIZE);
+            self.hosts[di]
+                .dram
+                .bulk_transfer(page.base_addr(), t, PAGE_SIZE);
             self.page_location.insert(*page, *dest);
             k.harm.on_promote(*page, *dest);
             promos_per_host[di] += 1;
             self.hosts[di].resident_pages += 1;
-            self.hosts[di].peak_resident_pages =
-                self.hosts[di].peak_resident_pages.max(self.hosts[di].resident_pages);
+            self.hosts[di].peak_resident_pages = self.hosts[di]
+                .peak_resident_pages
+                .max(self.hosts[di].resident_pages);
             self.stats.migration.pages_promoted += 1;
             self.stats.migration.transfer_bytes += PAGE_SIZE;
         }
@@ -1314,4 +1375,3 @@ fn global_current(
         None => global.current(page),
     }
 }
-

@@ -31,7 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pipm_types::{Cycle, CxlConfig, HostId, CPU_GHZ};
+use pipm_types::{CxlConfig, Cycle, HostId, CPU_GHZ};
 
 /// Direction of a message on a host's CXL link.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -130,7 +130,14 @@ impl Fabric {
     /// Sends `bytes` over host `h`'s link in direction `dir` starting at
     /// `now`. `is_migration` marks migration payload traffic, which is
     /// tracked separately for transfer-overhead attribution.
-    pub fn send(&mut self, h: HostId, dir: Dir, now: Cycle, bytes: u64, is_migration: bool) -> Arrival {
+    pub fn send(
+        &mut self,
+        h: HostId,
+        dir: Dir,
+        now: Cycle,
+        bytes: u64,
+        is_migration: bool,
+    ) -> Arrival {
         let ser = self.serialization(bytes);
         let latency = self.latency;
         let link = &mut self.links[h.index()];
@@ -278,6 +285,74 @@ mod tests {
         // Issue demand long after the migration drained: no attribution.
         let a = f.send(h, Dir::ToHost, m.at + 10_000, 64, false);
         assert_eq!(a.queued_behind_migration, 0);
+    }
+
+    #[test]
+    fn stale_migration_window_attributes_nothing() {
+        let mut f = fabric();
+        let h = HostId::new(0);
+        // Migration occupies [0, 128) (256 B at 2 B/cycle), then drains.
+        f.send(h, Dir::ToHost, 0, 256, true);
+        // Demand traffic occupies the direction well past the migration.
+        f.send(h, Dir::ToHost, 128, 1 << 16, false);
+        // Issued with mig_busy_until (128) already in the past: the delay
+        // is real but none of it is the migration's fault.
+        let a = f.send(h, Dir::ToHost, 129, 64, false);
+        assert!(a.queued > 0);
+        assert_eq!(a.queued_behind_migration, 0);
+    }
+
+    #[test]
+    fn inflight_migration_attributes_partially() {
+        let mut f = fabric();
+        let h = HostId::new(1);
+        // Migration occupies [0, 2048); demand extends occupancy to 4096.
+        f.send(h, Dir::ToHost, 0, 4096, true);
+        f.send(h, Dir::ToHost, 0, 4096, false);
+        // Issued mid-migration: queues to cycle 4096, but only the
+        // migration's remaining window [100, 2048) is attributed.
+        let a = f.send(h, Dir::ToHost, 100, 64, false);
+        assert_eq!(a.queued, 4096 - 100);
+        assert_eq!(a.queued_behind_migration, 2048 - 100);
+    }
+
+    #[test]
+    fn round_trip_sums_leg_queueing() {
+        let mut f = fabric();
+        let h = HostId::new(2);
+        // Occupy both directions with migration payloads.
+        f.send(h, Dir::ToDevice, 0, 8192, true);
+        f.send(h, Dir::ToHost, 0, 8192, true);
+        let mut manual = f.clone();
+        let rt = f.round_trip(h, 0, 64);
+        let up = manual.send(h, Dir::ToDevice, 0, manual.header_bytes(), false);
+        let down = manual.send(h, Dir::ToHost, up.at, 64, false);
+        assert_eq!(rt.at, down.at);
+        assert_eq!(rt.queued, up.queued + down.queued);
+        assert_eq!(
+            rt.queued_behind_migration,
+            up.queued_behind_migration + down.queued_behind_migration
+        );
+        assert!(rt.queued_behind_migration > 0);
+    }
+
+    #[test]
+    fn host_to_host_sums_leg_queueing() {
+        let mut f = fabric();
+        let (from, to) = (HostId::new(0), HostId::new(3));
+        f.send(from, Dir::ToDevice, 0, 8192, true);
+        f.send(to, Dir::ToHost, 0, 8192, true);
+        let mut manual = f.clone();
+        let a = f.host_to_host(from, to, 0, 64, false);
+        let leg1 = manual.send(from, Dir::ToDevice, 0, 64, false);
+        let leg2 = manual.send(to, Dir::ToHost, leg1.at, 64, false);
+        assert_eq!(a.at, leg2.at);
+        assert_eq!(a.queued, leg1.queued + leg2.queued);
+        assert_eq!(
+            a.queued_behind_migration,
+            leg1.queued_behind_migration + leg2.queued_behind_migration
+        );
+        assert!(a.queued_behind_migration > 0);
     }
 
     #[test]

@@ -215,17 +215,14 @@ impl Checker {
             for e in events {
                 let mut next = state.clone();
                 report.transitions += 1;
-                match next.step(e) {
-                    Err(err) => {
-                        let mut trace = self.trace_of(&seen, &canon);
-                        trace.push(e);
-                        report.violations.push(Violation {
-                            description: format!("protocol error: {err}"),
-                            trace,
-                        });
-                        continue;
-                    }
-                    Ok(_) => {}
+                if let Err(err) = next.step(e) {
+                    let mut trace = self.trace_of(&seen, &canon);
+                    trace.push(e);
+                    report.violations.push(Violation {
+                        description: format!("protocol error: {err}"),
+                        trace,
+                    });
+                    continue;
                 }
                 if let Err(v) = next.check_invariants() {
                     let mut trace = self.trace_of(&seen, &canon);
@@ -237,8 +234,8 @@ impl Checker {
                     continue;
                 }
                 let next_c = canonicalize(&next);
-                if !seen.contains_key(&next_c) {
-                    seen.insert(next_c, Some((canon.clone(), e)));
+                if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(next_c) {
+                    slot.insert(Some((canon.clone(), e)));
                     queue.push_back(next);
                 }
             }
@@ -292,7 +289,11 @@ mod tests {
     fn two_hosts_exhaustive_ok() {
         let r = Checker::new(2).run();
         assert!(r.is_ok(), "{r}");
-        assert!(r.states_explored > 50, "space too small: {}", r.states_explored);
+        assert!(
+            r.states_explored > 50,
+            "space too small: {}",
+            r.states_explored
+        );
         assert_eq!(r.deadlocks, 0);
     }
 

@@ -136,8 +136,13 @@ impl Dram {
     /// simplified timing.
     pub fn access(&mut self, addr: Addr, now: Cycle, is_write: bool) -> Cycle {
         let (ch_idx, bank_idx, row) = self.map(addr);
-        let (t_rcd, t_cl, t_rp, t_rc, burst) =
-            (self.t_rcd, self.t_cl, self.t_rp, self.t_rc, self.burst_cycles);
+        let (t_rcd, t_cl, t_rp, t_rc, burst) = (
+            self.t_rcd,
+            self.t_cl,
+            self.t_rp,
+            self.t_rc,
+            self.burst_cycles,
+        );
         let ch = &mut self.channels[ch_idx];
         let bank = &mut ch.banks[bank_idx];
 

@@ -63,7 +63,10 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let lines = self.capacity_bytes / crate::LINE_SIZE;
         let sets = lines as usize / self.ways;
-        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "cache set count must be a power of two"
+        );
         sets
     }
 }
@@ -340,11 +343,11 @@ impl SystemConfig {
         if self.shared_bytes == 0 {
             return Err("shared_bytes must be nonzero".into());
         }
-        if self.shared_bytes % crate::PAGE_SIZE != 0 {
+        if !self.shared_bytes.is_multiple_of(crate::PAGE_SIZE) {
             return Err("shared_bytes must be page aligned".into());
         }
         let lines = self.l1d.capacity_bytes / crate::LINE_SIZE;
-        if lines as usize % self.l1d.ways != 0 {
+        if !(lines as usize).is_multiple_of(self.l1d.ways) {
             return Err("l1d geometry invalid".into());
         }
         if !(0.0..1.0).contains(&self.warmup_fraction) {
@@ -415,14 +418,20 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        let mut cfg = SystemConfig::default();
-        cfg.hosts = 0;
+        let cfg = SystemConfig {
+            hosts: 0,
+            ..SystemConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        cfg = SystemConfig::default();
-        cfg.shared_bytes = 100; // not page aligned
+        let cfg = SystemConfig {
+            shared_bytes: 100, // not page aligned
+            ..SystemConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        cfg = SystemConfig::default();
-        cfg.warmup_fraction = 1.5;
+        let cfg = SystemConfig {
+            warmup_fraction: 1.5,
+            ..SystemConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

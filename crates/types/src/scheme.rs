@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn parse_aliases() {
-        assert_eq!("ideal".parse::<SchemeKind>().unwrap(), SchemeKind::LocalOnly);
+        assert_eq!(
+            "ideal".parse::<SchemeKind>().unwrap(),
+            SchemeKind::LocalOnly
+        );
         assert_eq!("OS-skew".parse::<SchemeKind>().unwrap(), SchemeKind::OsSkew);
         assert!("bogus".parse::<SchemeKind>().is_err());
     }

@@ -64,8 +64,8 @@ impl Workload {
         for host in 0..cfg.hosts {
             for core in 0..cfg.cores_per_host {
                 let id = CoreId::new(HostId::new(host), core);
-                let salt = 0x9e37_79b9_7f4a_7c15u64
-                    .wrapping_mul(1 + id.flat(cfg.cores_per_host) as u64);
+                let salt =
+                    0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + id.flat(cfg.cores_per_host) as u64);
                 out.push(Box::new(SyntheticStream::new(
                     spec.clone(),
                     cfg,
@@ -273,7 +273,10 @@ mod tests {
             }
         }
         let frac = same_page as f64 / pairs as f64;
-        assert!(frac > 0.3, "streaming workload should revisit pages: {frac}");
+        assert!(
+            frac > 0.3,
+            "streaming workload should revisit pages: {frac}"
+        );
     }
 
     #[test]

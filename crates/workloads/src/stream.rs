@@ -102,10 +102,10 @@ impl SyntheticStream {
         // The streaming scan sweeps a bounded per-phase working set (the
         // kernel's sequential arrays), placed with a different stride than
         // the hot window.
-        let lines = ((self.part_lines as f64 * self.spec.scan_fraction) as u64)
-            .clamp(64, self.part_lines);
+        let lines =
+            ((self.part_lines as f64 * self.spec.scan_fraction) as u64).clamp(64, self.part_lines);
         let span = self.part_lines.saturating_sub(lines).max(1);
-        let off = (self.phase.wrapping_mul(0x6a09_e667).wrapping_add(0x1234_5) ^ (self.phase >> 2))
+        let off = (self.phase.wrapping_mul(0x6a09_e667).wrapping_add(0x1_2345) ^ (self.phase >> 2))
             % span;
         (self.part_base + off, lines)
     }
@@ -136,7 +136,9 @@ impl SyntheticStream {
                 self.run_line = self.advance_within_partition(self.run_line);
                 return self.run_line;
             }
-            let z = self.zipf_part.as_ref().expect("checked above");
+            let Some(z) = self.zipf_part.as_ref() else {
+                unreachable!("guarded by the is_some() above");
+            };
             let line = if self.rng.gen::<f64>() < self.spec.hot_prob {
                 let rank = z.sample(&mut self.rng);
                 self.part_base + scramble(rank) % self.part_lines
@@ -212,7 +214,7 @@ impl Iterator for SyntheticStream {
         }
         self.remaining -= 1;
         self.generated += 1;
-        if self.spec.phase_refs > 0 && self.generated % self.spec.phase_refs == 0 {
+        if self.spec.phase_refs > 0 && self.generated.is_multiple_of(self.spec.phase_refs) {
             self.phase += 1;
         }
 

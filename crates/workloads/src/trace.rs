@@ -95,7 +95,10 @@ impl TraceFile {
         let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
         let count = u64::from_le_bytes(head[8..16].try_into().unwrap());
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
         }
         if version != VERSION {
             return Err(io::Error::new(

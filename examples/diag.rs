@@ -13,38 +13,78 @@ use pipm_types::{AccessClass, SchemeKind, SystemConfig};
 use pipm_workloads::{Workload, WorkloadParams};
 
 fn main() {
-    let refs: u64 = std::env::var("REFS").ok().and_then(|v| v.parse().ok()).unwrap_or(60_000);
-    let wl: pipm_workloads::Workload = std::env::var("WL").ok().and_then(|v| v.parse().ok()).unwrap_or(Workload::Pr);
-    let params = WorkloadParams { refs_per_core: refs, seed: 5 };
+    let refs: u64 = std::env::var("REFS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000);
+    let wl: pipm_workloads::Workload = std::env::var("WL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Workload::Pr);
+    let params = WorkloadParams {
+        refs_per_core: refs,
+        seed: 5,
+    };
     let mut cfg = SystemConfig::default();
     if std::env::var("FULL").is_err() {
         cfg.l1d.capacity_bytes = 16 << 10;
         cfg.llc_per_core.capacity_bytes = 256 << 10;
     }
-    for (scheme, thr) in [(SchemeKind::Native, 8), (SchemeKind::Pipm, 8), (SchemeKind::Pipm, 255), (SchemeKind::LocalOnly, 8)] {
+    for (scheme, thr) in [
+        (SchemeKind::Native, 8),
+        (SchemeKind::Pipm, 8),
+        (SchemeKind::Pipm, 255),
+        (SchemeKind::LocalOnly, 8),
+    ] {
         let mut cfg = cfg.clone();
         cfg.pipm.migration_threshold = thr;
         let mut wcfg = cfg.clone();
         let streams = wl.streams(&mut wcfg, &params);
         let mut sys = System::new(wcfg.clone(), scheme);
         let stats = sys.run(streams, params.refs_per_core);
-        let r = pipm_core::RunResult { workload: wl, scheme, stats, cfg: wcfg };
+        let r = pipm_core::RunResult {
+            workload: wl,
+            scheme,
+            stats,
+            cfg: wcfg,
+        };
         println!("{}", sys.contention_report());
-        println!("== {scheme} thr={thr} exec={} ipc={:.3}", r.exec_cycles(), r.stats.aggregate_ipc());
+        println!(
+            "== {scheme} thr={thr} exec={} ipc={:.3}",
+            r.exec_cycles(),
+            r.stats.aggregate_ipc()
+        );
         for c in AccessClass::ALL {
             let n = r.stats.class_total(c);
-            let lat: u64 = r.stats.cores.iter().map(|s| s.class_latency[c.index()]).sum();
+            let lat: u64 = r
+                .stats
+                .cores
+                .iter()
+                .map(|s| s.class_latency[c.index()])
+                .sum();
             let stall: u64 = r.stats.cores.iter().map(|s| s.class_stall[c.index()]).sum();
             if n > 0 {
-                println!("  {c:>14}: n={n:>8} mean_lat={:>7.1} stall={stall:>10}", lat as f64 / n as f64);
+                println!(
+                    "  {c:>14}: n={n:>8} mean_lat={:>7.1} stall={stall:>10}",
+                    lat as f64 / n as f64
+                );
             }
         }
-        println!("  promoted={} demoted={} lines_in={} lines_back={} local_hit={:.3}",
-            r.stats.migration.pages_promoted, r.stats.migration.pages_demoted,
-            r.stats.migration.lines_migrated_in, r.stats.migration.lines_migrated_back,
-            r.local_hit_rate());
-        println!("  lremap h/m={}/{} gremap h/m={}/{} recalls={}",
-            r.stats.local_remap_hits, r.stats.local_remap_misses,
-            r.stats.global_remap_hits, r.stats.global_remap_misses, r.stats.directory_recalls);
+        println!(
+            "  promoted={} demoted={} lines_in={} lines_back={} local_hit={:.3}",
+            r.stats.migration.pages_promoted,
+            r.stats.migration.pages_demoted,
+            r.stats.migration.lines_migrated_in,
+            r.stats.migration.lines_migrated_back,
+            r.local_hit_rate()
+        );
+        println!(
+            "  lremap h/m={}/{} gremap h/m={}/{} recalls={}",
+            r.stats.local_remap_hits,
+            r.stats.local_remap_misses,
+            r.stats.global_remap_hits,
+            r.stats.global_remap_misses,
+            r.stats.directory_recalls
+        );
     }
 }

@@ -38,11 +38,7 @@ fn main() {
         print!("{:<6}", w.label());
         for r in &results {
             let speedup = native_exec as f64 / r.exec_cycles().max(1) as f64;
-            print!(
-                "  {:>9.2}x ({:>4.0}%)",
-                speedup,
-                r.local_hit_rate() * 100.0
-            );
+            print!("  {:>9.2}x ({:>4.0}%)", speedup, r.local_hit_rate() * 100.0);
         }
         println!();
     }

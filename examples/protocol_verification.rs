@@ -17,10 +17,22 @@ fn main() {
     println!("Walking the six PIPM coherence transitions of Figure 9:");
     let steps: [(&str, Event); 6] = [
         ("host0 writes (fills M)", Event::LocWr(h0)),
-        ("policy initiates partial migration to host0", Event::Initiate(h0)),
-        ("case 1: eviction migrates the line into host0's DRAM", Event::Evict(h0)),
-        ("case 3: host0 re-reads from local DRAM (I' -> ME)", Event::LocRd(h0)),
-        ("case 6: host1 reads -> migrate back, both shared", Event::LocRd(h1)),
+        (
+            "policy initiates partial migration to host0",
+            Event::Initiate(h0),
+        ),
+        (
+            "case 1: eviction migrates the line into host0's DRAM",
+            Event::Evict(h0),
+        ),
+        (
+            "case 3: host0 re-reads from local DRAM (I' -> ME)",
+            Event::LocRd(h0),
+        ),
+        (
+            "case 6: host1 reads -> migrate back, both shared",
+            Event::LocRd(h1),
+        ),
         ("revocation is a no-op for CXL-resident data", Event::Revoke),
     ];
     for (desc, e) in steps {

@@ -1,0 +1,409 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! this crate vendors the small property-testing surface the workspace
+//! uses: the [`proptest!`] macro, `prop_assert*` macros, integer-range /
+//! tuple / `collection::vec` / `bool::ANY` strategies, and
+//! [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Case 0 is always the minimal case** — every strategy's simplest
+//!   value (the low end of ranges, `false` for booleans, the shortest
+//!   vector of simplest elements). This subsumes the shrunken
+//!   counterexamples recorded in `proptest-regressions/` (e.g.
+//!   `writes = 1, evict_between = false` for
+//!   `prop_revocation_restores_coherent_access`): the recorded minimal
+//!   case is re-run unconditionally on every execution.
+//! * Random cases are generated from a seed derived from the test's
+//!   module path and name, so runs are fully deterministic and failures
+//!   always reproduce.
+//! * No shrinking: failures report the already-generated inputs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of test inputs: a simplest value plus random samples.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// The minimal ("shrunken") value — run as case 0 of every test.
+        fn simplest(&self) -> Self::Value;
+
+        /// A random value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn simplest(&self) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start
+                }
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn simplest(&self) -> $t {
+                    *self.start()
+                }
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() - *self.start()) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    *self.start() + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_uint_range!(u64, u32, u16, u8, usize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn simplest(&self) -> Self::Value {
+            (self.0.simplest(), self.1.simplest())
+        }
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn simplest(&self) -> Self::Value {
+            (self.0.simplest(), self.1.simplest(), self.2.simplest())
+        }
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// Strategy for `Vec`s of another strategy's values.
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn simplest(&self) -> Self::Value {
+            (0..self.size.start).map(|_| self.elem.simplest()).collect()
+        }
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Marker strategy for uniformly random booleans (`bool::ANY`).
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn simplest(&self) -> bool {
+            false
+        }
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `elem` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Uniformly random booleans. Case 0 generates `false`.
+    pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+}
+
+pub mod test_runner {
+    //! Test execution configuration and the deterministic RNG.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property (case 0 is the minimal
+        /// case; the rest are random).
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A property-assertion failure (from `prop_assert!` and friends).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test RNG (SplitMix64 seeded from the test name).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for the named test; the same name always yields
+        /// the same sequence.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, span)` (widening multiply).
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. See the crate docs for semantics (minimal
+/// case first, deterministic random cases, no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = if __case == 0 {
+                            $crate::strategy::Strategy::simplest(&($strat))
+                        } else {
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng)
+                        };
+                    )+
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        ::std::panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn simplest_values_are_minimal() {
+        assert_eq!((3u64..10).simplest(), 3);
+        assert_eq!((1usize..8).simplest(), 1);
+        assert!(!crate::bool::ANY.simplest());
+        let v = crate::collection::vec(0u32..5, 2..9).simplest();
+        assert_eq!(v, vec![0, 0]);
+        assert_eq!(((1u64..4), crate::strategy::BoolAny).simplest(), (1, false));
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        let mut rng = TestRng::deterministic("samples_respect_bounds");
+        for _ in 0..10_000 {
+            let x = (5u64..9).sample(&mut rng);
+            assert!((5..9).contains(&x));
+            let v = crate::collection::vec(0u32..4, 1..6).sample(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 4));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        let sa: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// The macro itself works end to end, including tuples and vecs.
+        #[test]
+        fn macro_end_to_end(
+            (a, b) in (0u32..10, 1u64..5),
+            flips in crate::collection::vec(crate::bool::ANY, 1..20)
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((1..5).contains(&b));
+            prop_assert!(!flips.is_empty());
+            prop_assert_eq!(a as u64 + b, b + a as u64);
+            prop_assert_ne!(b, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case 0")]
+    fn minimal_case_runs_first() {
+        // A property that only fails on the minimal input must be caught
+        // at case 0.
+        crate::proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u64..100) {
+                prop_assert!(x != 0, "minimal value reached");
+            }
+        }
+        inner();
+    }
+}

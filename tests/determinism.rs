@@ -2,7 +2,8 @@
 //! bit-identical statistics; different seeds give different traces but the
 //! same qualitative behaviour.
 
-use pipm_core::run_one;
+use pipm_bench::{Harness, RunSpec};
+use pipm_core::{run_many, run_one, RunJob};
 use pipm_types::{SchemeKind, SystemConfig};
 use pipm_workloads::{Workload, WorkloadParams};
 
@@ -13,10 +14,73 @@ fn identical_runs_are_bit_identical() {
         seed: 77,
     };
     for scheme in [SchemeKind::Native, SchemeKind::Pipm, SchemeKind::Memtis] {
-        let a = run_one(Workload::Fluidanimate, scheme, SystemConfig::experiment_scale(), &params);
-        let b = run_one(Workload::Fluidanimate, scheme, SystemConfig::experiment_scale(), &params);
+        let a = run_one(
+            Workload::Fluidanimate,
+            scheme,
+            SystemConfig::experiment_scale(),
+            &params,
+        );
+        let b = run_one(
+            Workload::Fluidanimate,
+            scheme,
+            SystemConfig::experiment_scale(),
+            &params,
+        );
         assert_eq!(a.stats, b.stats, "{scheme}: stats must be identical");
     }
+}
+
+#[test]
+fn run_many_matches_serial_bit_for_bit() {
+    // Each job builds a self-contained System, so fanning the jobs out
+    // across worker threads must not perturb a single statistic.
+    let params = WorkloadParams {
+        refs_per_core: 10_000,
+        seed: 13,
+    };
+    let jobs: Vec<RunJob> = [
+        (Workload::Bfs, SchemeKind::Native),
+        (Workload::Bfs, SchemeKind::Pipm),
+        (Workload::Cc, SchemeKind::Memtis),
+        (Workload::Pr, SchemeKind::Pipm),
+        (Workload::Cc, SchemeKind::Native),
+    ]
+    .into_iter()
+    .map(|(w, s)| (w, s, SystemConfig::experiment_scale(), params))
+    .collect();
+    let parallel = run_many(&jobs, 4);
+    for ((w, s, cfg, p), r) in jobs.iter().zip(&parallel) {
+        let serial = run_one(*w, *s, cfg.clone(), p);
+        assert_eq!(serial.stats, r.stats, "{w} {s}: parallel != serial");
+    }
+}
+
+#[test]
+fn parallel_harness_matches_serial_bit_for_bit() {
+    // The bench harness fans (workload, scheme, variant) points across
+    // workers with in-flight deduplication; figure numbers must not
+    // depend on the worker count. Duplicated specs exercise the dedup.
+    let mk_specs = || {
+        vec![
+            RunSpec::default_cfg(Workload::Bfs, SchemeKind::Native),
+            RunSpec::default_cfg(Workload::Bfs, SchemeKind::Pipm),
+            RunSpec::new(Workload::Bfs, SchemeKind::Pipm, "thr=4", |cfg| {
+                cfg.pipm.migration_threshold = 4;
+            }),
+            RunSpec::default_cfg(Workload::Bfs, SchemeKind::Native),
+            RunSpec::default_cfg(Workload::Cc, SchemeKind::Memtis),
+        ]
+    };
+    let par = Harness::with_settings(8_000, 11, None, 4);
+    let ser = Harness::with_settings(8_000, 11, None, 1);
+    let pm = par.measure_many(&mk_specs());
+    let sm = ser.measure_many(&mk_specs());
+    assert_eq!(pm, sm, "harness results must not depend on worker count");
+    assert_eq!(
+        par.counters().runs,
+        4,
+        "duplicate spec must be served by the run cache"
+    );
 }
 
 #[test]
@@ -61,8 +125,6 @@ fn per_core_streams_are_decorrelated() {
     assert_ne!(a, b);
 }
 
-fn pipm_cpu_next(
-    s: &mut Box<dyn pipm_cpu::AccessStream>,
-) -> Option<(u64, bool)> {
+fn pipm_cpu_next(s: &mut Box<dyn pipm_cpu::AccessStream>) -> Option<(u64, bool)> {
     s.next_record().map(|r| (r.addr.raw(), r.is_write))
 }

@@ -57,7 +57,12 @@ fn pipm_full_pipeline_effects() {
         refs_per_core: 100_000,
         seed: 21,
     };
-    let r = run_one(Workload::Pr, SchemeKind::Pipm, SystemConfig::experiment_scale(), &long);
+    let r = run_one(
+        Workload::Pr,
+        SchemeKind::Pipm,
+        SystemConfig::experiment_scale(),
+        &long,
+    );
     // Policy fired, mechanism migrated lines, coherence served them
     // locally, and the remapping caches were exercised.
     assert!(r.stats.migration.pages_promoted > 0);
@@ -73,7 +78,10 @@ fn pipm_full_pipeline_effects() {
 fn kernel_migration_full_pipeline_effects() {
     let r = run(Workload::Bfs, SchemeKind::Memtis);
     assert!(r.stats.migration.pages_promoted > 0);
-    assert!(r.stats.total_mgmt_stall() > 0, "TLB/page-table costs charged");
+    assert!(
+        r.stats.total_mgmt_stall() > 0,
+        "TLB/page-table costs charged"
+    );
     assert!(
         r.stats.class_total(AccessClass::LocalShared) > 0,
         "promoted pages must serve locally for the owner"
@@ -120,6 +128,38 @@ fn link_latency_hurts_native_more_than_pipm() {
         native_slowdown > pipm_slowdown,
         "doubling link latency must hurt the all-remote scheme more \
          (native {native_slowdown:.3} vs pipm {pipm_slowdown:.3})"
+    );
+}
+
+#[test]
+fn tiny_global_remap_cache_costs_cycles() {
+    // Figure 17 regression: a 1 KB global remapping cache must be
+    // measurably slower than an effectively infinite one, because every
+    // miss now stalls on the table walk in CXL DRAM. (This was a no-op
+    // before the miss path charged the walk, leaving Fig. 17 flat.)
+    // Zipf-distributed YCSB touches enough distinct pages to thrash a
+    // 512-entry cache while the hot set still fits the infinite one.
+    let params = WorkloadParams {
+        refs_per_core: 40_000,
+        seed: 9,
+    };
+    let mut inf = SystemConfig::experiment_scale();
+    inf.pipm.global_remap_cache_bytes = 1 << 40;
+    let mut tiny = SystemConfig::experiment_scale();
+    tiny.pipm.global_remap_cache_bytes = 1 << 10;
+    let r_inf = run_one(Workload::Ycsb, SchemeKind::Pipm, inf, &params);
+    let r_tiny = run_one(Workload::Ycsb, SchemeKind::Pipm, tiny, &params);
+    assert!(
+        r_tiny.stats.global_remap_misses > r_inf.stats.global_remap_misses,
+        "1KB cache must miss more ({} vs {})",
+        r_tiny.stats.global_remap_misses,
+        r_inf.stats.global_remap_misses
+    );
+    assert!(
+        r_tiny.exec_cycles() > r_inf.exec_cycles(),
+        "global remap misses must cost execution time (tiny {} vs inf {})",
+        r_tiny.exec_cycles(),
+        r_inf.exec_cycles()
     );
 }
 

@@ -126,6 +126,25 @@ proptest! {
 }
 
 #[test]
+fn revocation_regression_single_write_no_evict() {
+    // Pinned copy of the checked-in proptest regression
+    // (proptest-regressions/protocol_and_policy.txt: writes = 1,
+    // evict_between = false): revoking a migration whose only write is
+    // still cached (never evicted to local memory) must still give the
+    // next reader the latest version.
+    let h0 = HostId::new(0);
+    let mut line = LineState::new(2);
+    line.step(Event::Initiate(h0)).unwrap();
+    line.step(Event::LocWr(h0)).unwrap();
+    line.step(Event::Revoke).unwrap();
+    assert!(!line.inmem_bit);
+    line.check_invariants().unwrap();
+    let v = line.read(HostId::new(1)).unwrap();
+    assert_eq!(v, line.latest);
+    line.check_invariants().unwrap();
+}
+
+#[test]
 fn incremental_migration_needs_no_extra_transfers() {
     // The paper's claim: incremental migration rides on ordinary fills and
     // evictions. Case ① emits exactly one local-memory write plus the bit

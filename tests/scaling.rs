@@ -14,13 +14,25 @@ fn cfg_with_hosts(hosts: usize) -> SystemConfig {
 
 #[test]
 fn pipm_scales_with_host_count() {
+    // Long enough to amortize the cold global-remap-cache misses (each now
+    // pays the Fig. 17 device-DRAM table walk).
     let params = WorkloadParams {
-        refs_per_core: 50_000,
+        refs_per_core: 120_000,
         seed: 31,
     };
     for hosts in [2usize, 8] {
-        let native = run_one(Workload::Pr, SchemeKind::Native, cfg_with_hosts(hosts), &params);
-        let pipm = run_one(Workload::Pr, SchemeKind::Pipm, cfg_with_hosts(hosts), &params);
+        let native = run_one(
+            Workload::Pr,
+            SchemeKind::Native,
+            cfg_with_hosts(hosts),
+            &params,
+        );
+        let pipm = run_one(
+            Workload::Pr,
+            SchemeKind::Pipm,
+            cfg_with_hosts(hosts),
+            &params,
+        );
         let speedup = pipm.speedup_over(&native);
         // At 8 hosts each partition's hot window shrinks toward the LLC
         // size, so the short-run gain is smaller; the requirement is that

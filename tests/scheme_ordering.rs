@@ -9,9 +9,11 @@ use pipm_workloads::{Workload, WorkloadParams};
 
 fn params() -> WorkloadParams {
     // Long enough for migrated lines to see reuse beyond the LLC (the
-    // dynamics the paper's steady-state runs amortize).
+    // dynamics the paper's steady-state runs amortize) and to amortize
+    // the cold global-remap-cache misses, whose device-DRAM table walks
+    // (the Fig. 17 cost) dominate shorter traces.
     WorkloadParams {
-        refs_per_core: 140_000,
+        refs_per_core: 200_000,
         seed: 5,
     }
 }
@@ -96,7 +98,10 @@ fn fig12_shape_pipm_interhost_stalls_small_and_below_hw_static() {
     let stall = |r: &RunResult| r.stats.interhost_stall_fraction(native.exec_cycles());
     let pipm = stall(&run(w, SchemeKind::Pipm));
     let hw = stall(&run(w, SchemeKind::HwStatic));
-    assert!(pipm < 0.03, "PIPM inter-host exposure must stay small: {pipm:.4}");
+    assert!(
+        pipm < 0.03,
+        "PIPM inter-host exposure must stay small: {pipm:.4}"
+    );
     assert!(
         pipm < hw,
         "PIPM ({pipm:.4}) must stay below HW-static ({hw:.4})"
