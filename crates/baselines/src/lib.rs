@@ -155,17 +155,28 @@ impl ResidencyTracker {
     }
 
     /// Registers a promotion; returns demotions needed to stay within
-    /// capacity (coldest-first).
+    /// capacity (coldest-first). The victim is never the page just
+    /// promoted — self-eviction would be pure churn and, worse, it
+    /// desynchronizes the policy's residency view from the simulator's
+    /// page table (the page keeps bouncing between hosts while the
+    /// policy believes it lives nowhere). Timestamp ties break by page
+    /// number so the choice is independent of hash-map iteration order.
     pub(crate) fn promote(&mut self, host: HostId, page: PageNum) -> Vec<(PageNum, HostId)> {
         let iv = self.interval;
         self.resident[host.index()].insert(page, iv);
         let mut demote = Vec::new();
         while self.resident[host.index()].len() > self.capacity_pages {
-            if let Some((&victim, _)) = self.resident[host.index()].iter().min_by_key(|(_, &t)| t) {
-                self.resident[host.index()].remove(&victim);
-                demote.push((victim, host));
-            } else {
-                break;
+            let victim = self.resident[host.index()]
+                .iter()
+                .filter(|(&p, _)| p != page)
+                .min_by_key(|(&p, &t)| (t, p))
+                .map(|(&p, _)| p);
+            match victim {
+                Some(v) => {
+                    self.resident[host.index()].remove(&v);
+                    demote.push((v, host));
+                }
+                None => break,
             }
         }
         demote
@@ -175,14 +186,18 @@ impl ResidencyTracker {
         self.resident[host.index()].remove(&page).is_some()
     }
 
-    /// Pages at `host` last touched at or before `cutoff` intervals ago.
+    /// Pages at `host` last touched at or before `cutoff` intervals ago,
+    /// in page order (hash-map iteration order must not leak into the
+    /// demotion sequence, which feeds deterministic timing).
     pub(crate) fn idle_pages(&self, host: HostId, idle_intervals: u64) -> Vec<PageNum> {
         let cutoff = self.interval.saturating_sub(idle_intervals);
-        self.resident[host.index()]
+        let mut pages: Vec<PageNum> = self.resident[host.index()]
             .iter()
             .filter(|(_, &t)| t <= cutoff)
             .map(|(&p, _)| p)
-            .collect()
+            .collect();
+        pages.sort_unstable();
+        pages
     }
 }
 

@@ -102,6 +102,7 @@ impl HotnessPolicy for MemtisPolicy {
                     true
                 }
             });
+            cooled_out.sort_unstable(); // decouple from hash-map order
             for page in cooled_out {
                 if self.tracker.demote(host, page) {
                     out.demotions.push((page, host));

@@ -116,13 +116,15 @@ impl HotnessPolicy for OsSkewPolicy {
             self.resident_counter.insert(page, self.threshold);
             promoted += 1;
         }
-        // Revoke pages whose residency vote collapsed.
-        let revoke: Vec<PageNum> = self
+        // Revoke pages whose residency vote collapsed (in page order, so
+        // hash-map iteration order cannot perturb the timing sequence).
+        let mut revoke: Vec<PageNum> = self
             .resident_counter
             .iter()
             .filter(|(_, &c)| c == 0)
             .map(|(&p, _)| p)
             .collect();
+        revoke.sort_unstable();
         for page in revoke {
             if let Some(owner) = self.tracker.location(page) {
                 self.tracker.demote(owner, page);

@@ -22,8 +22,11 @@
 //! * `PIPM_WORKLOADS` — comma-separated workload filter (default: all 13).
 //! * `PIPM_NO_CACHE` — ignore the on-disk result cache.
 //! * `PIPM_WORKERS` — worker-thread count (default: available
-//!   parallelism).
+//!   parallelism; non-numeric values warn and fall back).
 //! * `PIPM_QUIET` — suppress the per-run observability lines on stderr.
+//!
+//! The boolean knobs honor falsy values: empty, `0`, `false`, `no`, and
+//! `off` (any case) behave as if the variable were unset.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -285,6 +288,43 @@ pub struct Harness {
     timings: Mutex<Vec<FigureTiming>>,
 }
 
+/// Interprets a boolean-ish environment value: unset, empty, `0`,
+/// `false`, `no`, and `off` (case-insensitive) are falsy; anything else
+/// is truthy. Plain presence checks (`is_ok()`) wrongly treated
+/// `PIPM_QUIET=0` as quiet.
+fn env_flag(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => {
+            let v = v.trim();
+            !(v.is_empty()
+                || v.eq_ignore_ascii_case("0")
+                || v.eq_ignore_ascii_case("false")
+                || v.eq_ignore_ascii_case("no")
+                || v.eq_ignore_ascii_case("off"))
+        }
+    }
+}
+
+/// Interprets a worker-count environment value. Unset yields `default`
+/// silently; a positive integer is used as-is; anything else (zero,
+/// negative, garbage) yields `default` plus a warning for the caller to
+/// surface — silently falling back hid typos like `PIPM_WORKERS=four`.
+fn env_workers(value: Option<&str>, default: usize) -> (usize, Option<String>) {
+    match value {
+        None => (default, None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(w) if w > 0 => (w, None),
+            _ => (
+                default,
+                Some(format!(
+                    "PIPM_WORKERS={v:?} is not a positive integer; using {default}"
+                )),
+            ),
+        },
+    }
+}
+
 impl Harness {
     /// Builds the harness from the environment (see crate docs).
     pub fn from_env() -> Self {
@@ -293,18 +333,21 @@ impl Harness {
             .and_then(|v| v.parse().ok())
             .unwrap_or(1.0);
         let refs = ((400_000.0 * scale) as u64).max(10_000);
-        let cache_path = if std::env::var("PIPM_NO_CACHE").is_ok() {
+        let cache_path = if env_flag(std::env::var("PIPM_NO_CACHE").ok().as_deref()) {
             None
         } else {
             Some(PathBuf::from("target/pipm_results_cache.tsv"))
         };
-        let workers = std::env::var("PIPM_WORKERS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&w| w > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let default_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (workers, warn) = env_workers(
+            std::env::var("PIPM_WORKERS").ok().as_deref(),
+            default_workers,
+        );
+        if let Some(w) = warn {
+            eprintln!("warning: {w}");
+        }
         let mut h = Harness::with_settings(refs, 0x51_57, cache_path, workers);
-        h.quiet = std::env::var("PIPM_QUIET").is_ok();
+        h.quiet = env_flag(std::env::var("PIPM_QUIET").ok().as_deref());
         h
     }
 
@@ -641,6 +684,31 @@ mod tests {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn env_flag_honors_falsy_values() {
+        assert!(!env_flag(None));
+        for falsy in ["", "0", "false", "FALSE", "no", "No", "off", " 0 "] {
+            assert!(!env_flag(Some(falsy)), "{falsy:?} must be falsy");
+        }
+        for truthy in ["1", "true", "yes", "on", "anything"] {
+            assert!(env_flag(Some(truthy)), "{truthy:?} must be truthy");
+        }
+    }
+
+    #[test]
+    fn env_workers_parses_warns_and_defaults() {
+        assert_eq!(env_workers(None, 8), (8, None));
+        assert_eq!(env_workers(Some("4"), 8), (4, None));
+        assert_eq!(env_workers(Some(" 2 "), 8), (2, None));
+        // Zero, negatives, and garbage fall back with a warning.
+        for bad in ["0", "-3", "four", "", "1.5"] {
+            let (w, warn) = env_workers(Some(bad), 8);
+            assert_eq!(w, 8, "{bad:?} must fall back to the default");
+            let msg = warn.expect("unparsable value must warn");
+            assert!(msg.contains("PIPM_WORKERS"), "warning names the knob");
+        }
     }
 
     #[test]

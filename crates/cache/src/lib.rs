@@ -250,6 +250,13 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
             .flat_map(|s| s.iter().map(|w| (&w.key, &w.meta)))
     }
 
+    /// Counts entries satisfying `pred` without touching LRU order or
+    /// statistics. The invariant harness uses this to observe cache state
+    /// (e.g. exclusive-holder counts) without perturbing replacement.
+    pub fn count_matching<F: FnMut(&K, &M) -> bool>(&self, mut pred: F) -> usize {
+        self.iter().filter(|(k, m)| pred(k, m)).count()
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -292,6 +299,22 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_matching_is_non_perturbing() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(1, 3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        let stats_before = c.stats();
+        assert_eq!(c.count_matching(|_, m| *m >= 20), 2);
+        assert_eq!(c.count_matching(|k, _| *k == 1), 1);
+        // No stats movement, and LRU order untouched: inserting a fourth
+        // entry still evicts the oldest (key 1), not a recently-counted one.
+        assert_eq!(c.stats(), stats_before);
+        let evicted = c.insert(4, 40).unwrap();
+        assert_eq!(evicted.0, 1);
     }
 
     #[test]

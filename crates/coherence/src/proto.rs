@@ -187,6 +187,34 @@ impl LineState {
         self.migrated_to == Some(h) && self.inmem_bit && self.cache[h.index()] == CacheState::I
     }
 
+    /// Collapses the unbounded version counters to "is the latest write"
+    /// booleans: `(per-host cache, CXL memory, migration-target local
+    /// memory)`. This is the version abstraction the model checker
+    /// canonicalizes with (every protocol invariant only compares versions
+    /// against `latest`), and the lens through which live simulator
+    /// snapshots are matched against the model's reachable set.
+    ///
+    /// Dead versions are masked to `false`: a host's `cache_ver` is
+    /// meaningless in state I (invalidations leave the stale number
+    /// behind, but no transition ever reads it again), and
+    /// `mem_local_ver` is meaningless while `inmem_bit` is clear (every
+    /// bit-setting transition writes it fresh). Masking makes the
+    /// abstraction canonical — two states that differ only in dead
+    /// versions collapse together — which both shrinks the model
+    /// checker's search space and lets live snapshots (which do not track
+    /// dead versions) compare equal to model states.
+    pub fn latest_flags(&self) -> (Vec<bool>, bool, bool) {
+        (
+            self.cache_ver
+                .iter()
+                .zip(&self.cache)
+                .map(|(&v, &c)| c != CacheState::I && v == self.latest)
+                .collect(),
+            self.mem_cxl_ver == self.latest,
+            self.inmem_bit && self.mem_local_ver == self.latest,
+        )
+    }
+
     /// The version a load from host `h` would return, applying the event.
     /// Convenience wrapper over [`step`](Self::step) for verification.
     ///

@@ -42,15 +42,20 @@
 
 pub mod harm;
 pub mod hints;
+mod oracle;
 pub mod remap;
 mod runner;
 mod system;
 
 pub use harm::HarmTracker;
 pub use hints::MigrationHints;
+pub use oracle::OracleViolation;
 pub use remap::{GlobalEntry, GlobalRemap, LocalEntry, LocalRemap, LookupResult};
-pub use runner::{run_many, run_one, run_schemes, RunJob, RunResult};
-pub use system::System;
+pub use runner::{
+    run_many, run_one, run_schemes, run_spec_many, run_spec_one, RunJob, RunResult, SpecJob,
+    SpecRunResult,
+};
+pub use system::{HarnessReport, System};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,436 @@
+//! Functional reference oracle: a flat, sequentially-consistent shadow memory.
+//!
+//! The timing simulator in [`crate::system`] moves no data — it only models
+//! *where* each line's current value would live (a host cache, a host's local
+//! DRAM after migration, or CXL DRAM) and how long each access takes. The
+//! oracle shadows the same trace with per-line **version numbers**: every
+//! simulated store bumps the line's `latest` version, and every movement the
+//! simulator claims (cache fill, writeback, migration, flush, forward)
+//! propagates versions between the shadow locations. Whenever the simulator
+//! serves an access from some location, the oracle checks that the version
+//! held there equals `latest` — i.e. that a real machine performing the same
+//! sequence of transfers would have returned the most recent write. This is
+//! the paper's data-value invariant (§5.1.4) enforced at runtime, for PIPM
+//! and every baseline scheme.
+//!
+//! The oracle is pure bookkeeping: it never influences timing, placement, or
+//! statistics, so enabling it cannot perturb simulation results (the
+//! determinism tests rely on this).
+//!
+//! # Shadow locations
+//!
+//! Per line the oracle tracks:
+//!
+//! * `cxl` — the version resident in CXL DRAM,
+//! * `local[h]` — the version in host `h`'s local DRAM (meaningful once a
+//!   line/page has migrated or, for the kernel baselines, while resident),
+//! * `cached[h]` — the version in host `h`'s cache hierarchy (L1+LLC are
+//!   inclusive, so one slot per host suffices), `None` when uncached.
+//!
+//! Shadows are keyed by `(line, domain)`. In coherent schemes all hosts share
+//! one domain per shared line; the non-coherent `Ideal` baseline replicates
+//! the shared region per host, so each host gets its own domain (writes are
+//! never propagated between replicas, exactly like the scheme it models).
+//! Private lines always use the owning host's domain.
+
+use pipm_types::{LineAddr, SystemConfig};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Cap on recorded violations, so a badly broken run doesn't balloon memory.
+const MAX_VIOLATIONS: usize = 64;
+
+/// One detected data-value violation: the simulator served an access from a
+/// location whose shadow version was not the most recent write.
+#[derive(Clone, Debug)]
+pub struct OracleViolation {
+    /// Line whose stale version was served.
+    pub line: LineAddr,
+    /// Host that performed the access.
+    pub host: usize,
+    /// Which shadow location served the access.
+    pub source: &'static str,
+    /// Version found at the serving location.
+    pub observed: u64,
+    /// Most recent write version at check time.
+    pub latest: u64,
+    /// Ordinal of the check that failed (1-based across the run).
+    pub check_no: u64,
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "oracle: host {} read {} from {} at version {} but latest write is {} (check #{})",
+            self.host, self.line, self.source, self.observed, self.latest, self.check_no
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Shadow {
+    pub(crate) latest: u64,
+    pub(crate) cxl: u64,
+    pub(crate) local: Vec<u64>,
+    pub(crate) cached: Vec<Option<u64>>,
+}
+
+impl Shadow {
+    fn new(hosts: usize) -> Self {
+        Shadow {
+            latest: 0,
+            cxl: 0,
+            local: vec![0; hosts],
+            cached: vec![None; hosts],
+        }
+    }
+}
+
+/// The reference oracle. Owned by [`crate::System`] when harness mode is
+/// enabled via [`crate::System::enable_oracle`].
+pub struct Oracle {
+    hosts: usize,
+    /// `Ideal` baseline: shared region replicated per host, no coherence.
+    replicated: bool,
+    shared_bytes: u64,
+    lines: HashMap<(u64, u32), Shadow>,
+    violations: Vec<OracleViolation>,
+    checks: u64,
+    /// Debug aid: `PIPM_ORACLE_TRACE=<hex line>` prints every oracle hook
+    /// touching that line to stderr (for dissecting a shrunk fuzz failure).
+    trace: Option<u64>,
+}
+
+impl Oracle {
+    pub(crate) fn new(hosts: usize, replicated: bool, cfg: &SystemConfig) -> Self {
+        let trace = std::env::var("PIPM_ORACLE_TRACE")
+            .ok()
+            .and_then(|v| u64::from_str_radix(v.trim().trim_start_matches("0x"), 16).ok());
+        Oracle {
+            hosts,
+            replicated,
+            shared_bytes: cfg.shared_bytes,
+            lines: HashMap::new(),
+            violations: Vec::new(),
+            checks: 0,
+            trace,
+        }
+    }
+
+    fn note(&mut self, hi: usize, line: LineAddr, hook: &str) {
+        if self.trace == Some(line.raw()) {
+            let checks = self.checks;
+            let s = self.shadow(hi, line).clone();
+            eprintln!(
+                "oracle-trace[{checks}]: h{hi} {hook} {line}: latest={} cxl={} local={:?} cached={:?}",
+                s.latest, s.cxl, s.local, s.cached
+            );
+        }
+    }
+
+    /// Number of data-value checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Violations recorded so far (capped at an internal limit).
+    pub fn violations(&self) -> &[OracleViolation] {
+        &self.violations
+    }
+
+    fn domain(&self, hi: usize, line: LineAddr) -> u32 {
+        let shared = line.base_addr().raw() < self.shared_bytes;
+        if shared && !self.replicated {
+            0
+        } else {
+            1 + hi as u32
+        }
+    }
+
+    fn shadow(&mut self, hi: usize, line: LineAddr) -> &mut Shadow {
+        let key = (line.raw(), self.domain(hi, line));
+        let hosts = self.hosts;
+        self.lines.entry(key).or_insert_with(|| Shadow::new(hosts))
+    }
+
+    fn check(&mut self, hi: usize, line: LineAddr, source: &'static str, observed: u64) {
+        self.checks += 1;
+        let check_no = self.checks;
+        let latest = self.shadow(hi, line).latest;
+        if observed != latest && self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(OracleViolation {
+                line,
+                host: hi,
+                source,
+                observed,
+                latest,
+                check_no,
+            });
+        }
+    }
+
+    // ---- access paths ----------------------------------------------------
+
+    /// Host `hi` hit its own cache hierarchy (L1 or LLC).
+    pub(crate) fn cache_hit(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "cache_hit");
+        let v = self.shadow(hi, line).cached[hi].unwrap_or(0);
+        self.check(hi, line, "cache", v);
+    }
+
+    /// Host `hi` filled its caches from its own local DRAM (private data,
+    /// migrated PIPM lines — case ③, kernel-resident pages, `Ideal`).
+    pub(crate) fn fill_from_local(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "fill_from_local");
+        let s = self.shadow(hi, line);
+        let v = s.local[hi];
+        s.cached[hi] = Some(v);
+        self.check(hi, line, "local DRAM", v);
+    }
+
+    /// Host `hi` filled its caches from CXL DRAM.
+    pub(crate) fn fill_from_cxl(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "fill_from_cxl");
+        let s = self.shadow(hi, line);
+        let v = s.cxl;
+        s.cached[hi] = Some(v);
+        self.check(hi, line, "CXL DRAM", v);
+    }
+
+    /// Host `hi` received the line via cache-to-cache forward from `owner`
+    /// (device-directory `Modified` hit). The device also captures the
+    /// forwarded data (writeback to CXL); on a write the owner is
+    /// invalidated, on a read it is downgraded in place.
+    pub(crate) fn fill_forward(&mut self, hi: usize, owner: usize, line: LineAddr, is_write: bool) {
+        self.note(hi, line, "fill_forward");
+        let s = self.shadow(hi, line);
+        let v = s.cached[owner].unwrap_or(s.cxl);
+        s.cxl = s.cxl.max(v);
+        if is_write {
+            s.cached[owner] = None;
+        }
+        s.cached[hi] = Some(v);
+        self.check(hi, line, "owner forward", v);
+    }
+
+    /// PIPM cases ②⑤⑥: host `hi` pulled an in-memory line back from the
+    /// owning host. The source is the owner's cache if it still holds the
+    /// line (⑤ write / ⑥ read), otherwise the owner's local DRAM (②).
+    /// The line is written back to CXL DRAM as part of migration-back; on a
+    /// write any owner copy is invalidated (⑤), on a read it is downgraded.
+    pub(crate) fn fill_from_owner_memory(
+        &mut self,
+        hi: usize,
+        owner: usize,
+        line: LineAddr,
+        owner_cached: bool,
+        is_write: bool,
+    ) {
+        self.note(hi, line, "fill_from_owner_memory");
+        let s = self.shadow(hi, line);
+        let v = if owner_cached {
+            s.cached[owner].unwrap_or(s.local[owner])
+        } else {
+            s.local[owner]
+        };
+        s.cxl = s.cxl.max(v);
+        if is_write {
+            s.cached[owner] = None;
+        }
+        s.cached[hi] = Some(v);
+        self.check(hi, line, "owner memory", v);
+    }
+
+    /// Kernel baseline GIM read: host `hi` reads the line at the resident
+    /// host `owner` without caching it.
+    pub(crate) fn gim_read(&mut self, hi: usize, owner: usize, line: LineAddr) {
+        self.note(hi, line, "gim_read");
+        let s = self.shadow(hi, line);
+        let v = s.cached[owner].unwrap_or(s.local[owner]);
+        self.check(hi, line, "GIM remote", v);
+    }
+
+    /// Kernel baseline GIM write: the store is applied in place at the
+    /// resident host `owner` (write-update; the writer caches nothing).
+    pub(crate) fn gim_write(&mut self, owner: usize, line: LineAddr) {
+        self.note(owner, line, "gim_write");
+        let s = self.shadow(owner, line);
+        s.latest += 1;
+        let latest = s.latest;
+        if s.cached[owner].is_some() {
+            s.cached[owner] = Some(latest);
+        } else {
+            s.local[owner] = latest;
+        }
+    }
+
+    /// A store by host `hi` retired into its cache hierarchy. Must follow the
+    /// hit/fill call that installed the line.
+    pub(crate) fn write_applied(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "write_applied");
+        let s = self.shadow(hi, line);
+        s.latest += 1;
+        s.cached[hi] = Some(s.latest);
+    }
+
+    // ---- data movement ---------------------------------------------------
+
+    /// Host `hi` evicted/flushed the line from its caches into its own local
+    /// DRAM (private evict, `Ideal`, kernel-resident evict, PIPM cases ①④,
+    /// revocation flush).
+    pub(crate) fn evict_to_local(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "evict_to_local");
+        let s = self.shadow(hi, line);
+        if let Some(v) = s.cached[hi].take() {
+            s.local[hi] = s.local[hi].max(v);
+        }
+    }
+
+    /// Host `hi` evicted/flushed the line from its caches to CXL DRAM
+    /// (native dirty evict, directory recall, kernel promotion flush).
+    pub(crate) fn evict_to_cxl(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "evict_to_cxl");
+        let s = self.shadow(hi, line);
+        if let Some(v) = s.cached[hi].take() {
+            s.cxl = s.cxl.max(v);
+        }
+    }
+
+    /// Host `hi`'s cached copy was invalidated without writeback (clean S
+    /// drop, sharer invalidation on an upgrade).
+    pub(crate) fn drop_cached(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "drop_cached");
+        self.shadow(hi, line).cached[hi] = None;
+    }
+
+    /// Bulk copy host `hi`'s local-DRAM copy out to CXL DRAM (revocation,
+    /// kernel demotion).
+    pub(crate) fn local_to_cxl(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "local_to_cxl");
+        let s = self.shadow(hi, line);
+        s.cxl = s.cxl.max(s.local[hi]);
+    }
+
+    /// Bulk copy CXL DRAM into host `hi`'s local DRAM (kernel promotion,
+    /// PIPM sector prefetch, HW-static swap target).
+    pub(crate) fn cxl_to_local(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "cxl_to_local");
+        let s = self.shadow(hi, line);
+        s.local[hi] = s.local[hi].max(s.cxl);
+    }
+
+    /// HW-static swap-on-access: the line just installed in host `hi`'s
+    /// caches is also copied into its local DRAM.
+    pub(crate) fn cached_to_local(&mut self, hi: usize, line: LineAddr) {
+        self.note(hi, line, "cached_to_local");
+        let s = self.shadow(hi, line);
+        if let Some(v) = s.cached[hi] {
+            s.local[hi] = s.local[hi].max(v);
+        } else {
+            s.local[hi] = s.local[hi].max(s.cxl);
+        }
+    }
+
+    // ---- snapshot support ------------------------------------------------
+
+    /// Iterates the coherent shared-region lines the oracle has seen,
+    /// together with their shadow state. Used by
+    /// [`crate::System::snapshot_line_states`] to build abstract
+    /// [`pipm_coherence::proto::LineState`] values for the model
+    /// cross-check.
+    pub(crate) fn shared_lines(&self) -> impl Iterator<Item = (LineAddr, &Shadow)> {
+        self.lines
+            .iter()
+            .filter(|((_, dom), _)| *dom == 0)
+            .map(|((raw, _), s)| (LineAddr::new(*raw), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn clean_read_chain_is_silent() {
+        let mut o = Oracle::new(2, false, &cfg());
+        o.fill_from_cxl(0, line(1));
+        o.cache_hit(0, line(1));
+        o.fill_from_cxl(1, line(1));
+        assert_eq!(o.checks(), 3);
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn stale_copy_after_unpropagated_write_is_caught() {
+        let mut o = Oracle::new(2, false, &cfg());
+        o.fill_from_cxl(0, line(7));
+        o.fill_from_cxl(1, line(7));
+        // Host 0 writes; host 1's copy is (deliberately) not invalidated.
+        o.write_applied(0, line(7));
+        o.cache_hit(1, line(7));
+        assert_eq!(o.violations().len(), 1);
+        let v = &o.violations()[0];
+        assert_eq!(v.host, 1);
+        assert_eq!(v.observed, 0);
+        assert_eq!(v.latest, 1);
+    }
+
+    #[test]
+    fn forward_and_writeback_propagate_latest() {
+        let mut o = Oracle::new(2, false, &cfg());
+        o.fill_from_cxl(0, line(3));
+        o.write_applied(0, line(3));
+        // Reader obtains the dirty line via forward; CXL captures it.
+        o.fill_forward(1, 0, line(3), false);
+        o.cache_hit(1, line(3));
+        // Both copies drop; a fresh fill from CXL still sees the latest.
+        o.drop_cached(0, line(3));
+        o.drop_cached(1, line(3));
+        o.fill_from_cxl(0, line(3));
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn migration_round_trip_preserves_latest() {
+        let mut o = Oracle::new(2, false, &cfg());
+        // Owner writes, evicts to local (case ①), then the line is revoked:
+        // flushed local→CXL, and the peer reads from CXL.
+        o.fill_from_cxl(0, line(9));
+        o.write_applied(0, line(9));
+        o.evict_to_local(0, line(9));
+        o.local_to_cxl(0, line(9));
+        o.fill_from_cxl(1, line(9));
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn replicated_domains_do_not_interfere() {
+        let mut o = Oracle::new(2, true, &cfg());
+        o.fill_from_local(0, line(5));
+        o.write_applied(0, line(5));
+        // Host 1's replica never saw the write and must not be compared
+        // against host 0's version.
+        o.fill_from_local(1, line(5));
+        assert!(o.violations().is_empty(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn violation_cap_holds() {
+        let mut o = Oracle::new(2, false, &cfg());
+        o.fill_from_cxl(1, line(2));
+        o.write_applied(0, line(2));
+        for _ in 0..(2 * MAX_VIOLATIONS) {
+            o.cache_hit(1, line(2));
+        }
+        assert_eq!(o.violations().len(), MAX_VIOLATIONS);
+    }
+}

@@ -140,6 +140,15 @@ impl GlobalRemap {
         self.table.get(&page).and_then(|e| e.current_host)
     }
 
+    /// Iterates every page currently marked migrated (`current_host` set),
+    /// in no particular order. Used by the inline invariant checks to
+    /// verify global ↔ local table agreement.
+    pub fn migrated_pages(&self) -> impl Iterator<Item = (PageNum, HostId)> + '_ {
+        self.table
+            .iter()
+            .filter_map(|(p, e)| e.current_host.map(|h| (*p, h)))
+    }
+
     /// Cache hit/miss statistics.
     pub fn cache_stats(&self) -> pipm_cache::CacheStats {
         self.cache.stats()
@@ -227,6 +236,12 @@ impl LocalRemap {
     /// The entry for `page`, if partially migrated here.
     pub fn entry(&self, page: PageNum) -> Option<&LocalEntry> {
         self.table.get(&page)
+    }
+
+    /// Iterates every local entry (pages partially migrated to this host),
+    /// in no particular order. Used by the inline invariant checks.
+    pub fn pages(&self) -> impl Iterator<Item = (PageNum, &LocalEntry)> + '_ {
+        self.table.iter().map(|(p, e)| (*p, e))
     }
 
     /// Number of pages with local entries.
@@ -472,5 +487,121 @@ mod tests {
         assert_eq!(l.peak_pages(), 1);
         assert_eq!(l.peak_lines(), 2);
         assert_eq!(l.resident_pages(), 0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::{HashMap, HashSet};
+
+        proptest! {
+            // Insert/lookup/evict round-trip: an arbitrary op sequence
+            // keeps the table in lock-step with a naive model — entries,
+            // per-line bits, resident counts, and PFN uniqueness.
+            #[test]
+            fn prop_local_table_round_trip(
+                ops in proptest::collection::vec((0u64..4, 0u64..32, 0u64..64), 1..60)
+            ) {
+                let mut l = LocalRemap::new(&cfg(), 16);
+                let mut model: HashMap<u64, u64> = HashMap::new(); // page -> bits
+                for (op, page, idx) in ops {
+                    let pg = p(page);
+                    match op {
+                        0 => {
+                            let want = model.len() < 16 && !model.contains_key(&page);
+                            prop_assert_eq!(l.initiate(pg, 8), want);
+                            if want {
+                                model.insert(page, 0);
+                            }
+                        }
+                        1 => {
+                            l.set_line(pg, idx as usize);
+                            if let Some(b) = model.get_mut(&page) {
+                                *b |= 1 << idx;
+                            }
+                        }
+                        2 => {
+                            l.clear_line(pg, idx as usize);
+                            if let Some(b) = model.get_mut(&page) {
+                                *b &= !(1 << idx);
+                            }
+                        }
+                        _ => {
+                            let e = l.revoke(pg);
+                            prop_assert_eq!(e.is_some(), model.remove(&page).is_some());
+                        }
+                    }
+                    prop_assert_eq!(l.resident_pages(), model.len());
+                    let mut pfns = HashSet::new();
+                    for (pg2, bits) in &model {
+                        let e = l.entry(p(*pg2)).unwrap();
+                        prop_assert_eq!(e.line_bits, *bits);
+                        prop_assert!(pfns.insert(e.local_pfn), "PFN aliased across pages");
+                    }
+                    prop_assert_eq!(
+                        l.pages().count(),
+                        model.len(),
+                        "pages() iterator disagrees with the model"
+                    );
+                }
+            }
+
+            // 32-entry line-granular fill (PR 1): one table walk fills a
+            // whole 64 B table line, so all 32 neighbors hit and the next
+            // table line still misses.
+            #[test]
+            fn prop_global_cache_fills_table_lines(base in 0u64..10_000, off in 1u64..32) {
+                let mut g = GlobalRemap::new(&cfg());
+                let first = base * 32;
+                prop_assert!(!g.lookup(p(first)).cache_hit);
+                prop_assert!(g.lookup(p(first + off)).cache_hit);
+                prop_assert!(g.lookup(p(first)).cache_hit);
+                prop_assert!(!g.lookup(p(first + 32)).cache_hit);
+            }
+
+            // No-alias across hosts: driving per-host local tables under
+            // the global table's single-owner discipline (vote → initiate
+            // → set_current; interhost → revoke → clear_current) never
+            // yields two hosts holding entries for the same page.
+            #[test]
+            fn prop_no_alias_across_hosts(
+                ops in proptest::collection::vec((0u64..2, 0u64..3, 0u64..8), 1..80)
+            ) {
+                let c = cfg();
+                let mut g = GlobalRemap::new(&c);
+                let mut locals: Vec<LocalRemap> =
+                    (0..3).map(|_| LocalRemap::new(&c, 4)).collect();
+                for (op, host, page) in ops {
+                    let hid = h(host as usize);
+                    let pg = p(page);
+                    if op == 0 {
+                        // The System's migration discipline: vote, and only
+                        // claim the page when initiation succeeds locally.
+                        if g.current(pg).is_none()
+                            && g.vote(pg, hid, 2)
+                            && locals[host as usize].initiate(pg, 2)
+                        {
+                            g.set_current(pg, hid);
+                        }
+                    } else if let Some(owner) = g.current(pg) {
+                        // Inter-host access decrements the owner's counter;
+                        // zero triggers revocation.
+                        if owner != hid && locals[owner.index()].interhost_access(pg) {
+                            locals[owner.index()].revoke(pg);
+                            g.clear_current(pg);
+                        }
+                    }
+                    for pg2 in 0..8u64 {
+                        let holders: Vec<usize> = (0..3)
+                            .filter(|&i| locals[i].entry(p(pg2)).is_some())
+                            .collect();
+                        match g.current(p(pg2)) {
+                            Some(owner) => prop_assert_eq!(holders, vec![owner.index()]),
+                            None => prop_assert!(holders.is_empty()),
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,8 +1,8 @@
 //! High-level experiment runner: one call per (workload, scheme) pair.
 
-use crate::system::System;
+use crate::system::{HarnessReport, System};
 use pipm_types::{SchemeKind, SystemConfig, SystemStats};
-use pipm_workloads::{Workload, WorkloadParams};
+use pipm_workloads::{FuzzSpec, Workload, WorkloadParams};
 
 /// The outcome of one simulation run.
 #[derive(Clone, Debug)]
@@ -111,6 +111,82 @@ pub fn run_many(jobs: &[RunJob], workers: usize) -> Vec<RunResult> {
         .map(|slot| {
             slot.into_inner()
                 .expect("run_many slot poisoned")
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+/// The outcome of one fuzzed harness run: the usual statistics plus the
+/// differential-correctness report (oracle + inline invariants).
+#[derive(Clone, Debug)]
+pub struct SpecRunResult {
+    /// The fuzzed trace description that was simulated.
+    pub spec: FuzzSpec,
+    /// Scheme simulated.
+    pub scheme: SchemeKind,
+    /// Collected statistics (post-warm-up).
+    pub stats: SystemStats,
+    /// The exact configuration used (footprint filled in by the spec).
+    pub cfg: SystemConfig,
+    /// Oracle checks/violations and invariant-epoch outcomes.
+    pub report: HarnessReport,
+}
+
+/// Runs a fuzzed trace under `scheme` in harness mode: the functional
+/// oracle shadows every access and inline invariants are recorded (not
+/// panicked) so the caller can assert on the [`HarnessReport`]. The
+/// oracle is pure bookkeeping, so `stats` are bit-identical to a plain
+/// run of the same spec.
+pub fn run_spec_one(spec: &FuzzSpec, scheme: SchemeKind, mut cfg: SystemConfig) -> SpecRunResult {
+    let streams = spec.streams(&mut cfg);
+    let mut sys = System::new(cfg.clone(), scheme);
+    sys.enable_oracle();
+    let stats = sys.run(streams, spec.refs_per_core);
+    SpecRunResult {
+        spec: *spec,
+        scheme,
+        stats,
+        cfg,
+        report: sys.harness_report(),
+    }
+}
+
+/// One job for [`run_spec_many`]: the argument set of a [`run_spec_one`]
+/// call.
+pub type SpecJob = (FuzzSpec, SchemeKind, SystemConfig);
+
+/// Runs every fuzz job across `workers` scoped threads, returning
+/// results in job order (same work-stealing scheme as [`run_many`]; each
+/// job is self-contained, so results are bit-identical to serial
+/// [`run_spec_one`] calls).
+pub fn run_spec_many(jobs: &[SpecJob], workers: usize) -> Vec<SpecRunResult> {
+    let threads = workers.max(1).min(jobs.len());
+    if threads <= 1 {
+        return jobs
+            .iter()
+            .map(|(spec, s, cfg)| run_spec_one(spec, *s, cfg.clone()))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<SpecRunResult>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((spec, s, cfg)) = jobs.get(i) else {
+                    break;
+                };
+                let r = run_spec_one(spec, *s, cfg.clone());
+                *slots[i].lock().expect("run_spec_many slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("run_spec_many slot poisoned")
                 .expect("worker completed every claimed job")
         })
         .collect()

@@ -12,6 +12,7 @@
 //! in near-global time order and runs are fully deterministic.
 
 use crate::harm::HarmTracker;
+use crate::oracle::Oracle;
 use crate::remap::{GlobalRemap, LocalRemap};
 use pipm_baselines::{
     HememPolicy, HotnessPolicy, HwStaticMap, MemtisPolicy, NomadPolicy, OsSkewPolicy,
@@ -124,6 +125,44 @@ pub struct System {
     page_location: HashMap<PageNum, HostId>,
     /// Application-supplied placement hints (paper §6), PIPM only.
     hints: crate::MigrationHints,
+    /// Differential correctness oracle (harness mode only; `None` in
+    /// ordinary runs — zero overhead, zero behavioural impact).
+    oracle: Option<Oracle>,
+    /// Inline invariant sweeps performed so far.
+    invariant_epochs: u64,
+    /// Invariant failures recorded in harness mode (capped).
+    invariant_failures: Vec<String>,
+}
+
+/// Whether inline invariant sweeps are compiled in: always in debug
+/// builds, and in release builds only with the `check-invariants` feature
+/// (the fuzz-smoke CI job). Release figure runs keep this off.
+const INLINE_CHECKS: bool = cfg!(any(debug_assertions, feature = "check-invariants"));
+
+/// Processed-reference interval between inline invariant sweeps. Epoch
+/// boundaries fall between references, so every structure is quiescent.
+const INVARIANT_EPOCH: u64 = 16_384;
+
+/// Outcome of one harness-mode run: everything the differential harness
+/// observed. Clean means the simulator never served a stale version and
+/// never violated a structural invariant.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessReport {
+    /// Data-value checks the oracle performed.
+    pub oracle_checks: u64,
+    /// Oracle violations (stale versions served), rendered as text.
+    pub oracle_violations: Vec<String>,
+    /// Inline invariant sweeps performed.
+    pub invariant_epochs: u64,
+    /// Invariant failures, rendered as text.
+    pub invariant_failures: Vec<String>,
+}
+
+impl HarnessReport {
+    /// No violations of any kind.
+    pub fn is_clean(&self) -> bool {
+        self.oracle_violations.is_empty() && self.invariant_failures.is_empty()
+    }
 }
 
 /// Base offset used for remapping-table walk addresses so table traffic
@@ -223,8 +262,38 @@ impl System {
             warmup_instr: vec![0; total_cores],
             page_location: HashMap::new(),
             hints: crate::MigrationHints::new(),
+            oracle: None,
+            invariant_epochs: 0,
+            invariant_failures: Vec::new(),
             kind: scheme,
             cfg,
+        }
+    }
+
+    /// Enables harness mode: a functional reference oracle shadows every
+    /// access, and inline invariant sweeps record failures into the
+    /// [`HarnessReport`] instead of panicking. The oracle is pure
+    /// bookkeeping and never changes timing or statistics.
+    pub fn enable_oracle(&mut self) {
+        let replicated = matches!(self.kind, SchemeKind::LocalOnly);
+        self.oracle = Some(Oracle::new(self.cfg.hosts, replicated, &self.cfg));
+    }
+
+    /// The harness observations so far (meaningful after `run` in harness
+    /// mode; empty-but-clean otherwise).
+    pub fn harness_report(&self) -> HarnessReport {
+        let (oracle_checks, oracle_violations) = match &self.oracle {
+            Some(o) => (
+                o.checks(),
+                o.violations().iter().map(|v| v.to_string()).collect(),
+            ),
+            None => (0, Vec::new()),
+        };
+        HarnessReport {
+            oracle_checks,
+            oracle_violations,
+            invariant_epochs: self.invariant_epochs,
+            invariant_failures: self.invariant_failures.clone(),
         }
     }
 
@@ -305,6 +374,256 @@ impl System {
         self.devdir.entries_snapshot()
     }
 
+    /// The full inline invariant sweep: [`Self::check_consistency`] plus
+    /// SWMR, L1⊆LLC inclusion, reverse directory agreement, and
+    /// remap-table ↔ in-memory-bit ↔ migration-state consistency. All
+    /// checks are read-only (no LRU or statistics perturbation), so
+    /// running them cannot change simulation results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants_deep(&self) -> Result<(), String> {
+        self.check_consistency()?;
+        self.check_inclusion()?;
+        self.check_swmr()?;
+        self.check_reverse_directory()?;
+        self.check_remap_agreement()?;
+        Ok(())
+    }
+
+    /// L1s are inclusive subsets of their host's LLC.
+    fn check_inclusion(&self) -> Result<(), String> {
+        for (hi, host) in self.hosts.iter().enumerate() {
+            for (li, l1) in host.l1.iter().enumerate() {
+                for (line, _) in l1.iter() {
+                    if host.llc.peek(*line).is_none() {
+                        return Err(format!("H{hi}: L1[{li}] holds {line} absent from LLC"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Single-writer-multiple-reader over shared lines: at most one host
+    /// may hold a line exclusively (E/M/ME), and an exclusive holder
+    /// excludes every other copy. `LocalOnly` replicates the shared region
+    /// per host by design and is exempt.
+    fn check_swmr(&self) -> Result<(), String> {
+        if matches!(self.kind, SchemeKind::LocalOnly) {
+            return Ok(());
+        }
+        // line -> (exclusive holders, total holders, an exclusive host).
+        let mut holders: HashMap<LineAddr, (usize, usize, usize)> = HashMap::new();
+        for (hi, host) in self.hosts.iter().enumerate() {
+            for (line, meta) in host.llc.iter() {
+                if !line.is_shared(&self.cfg) {
+                    continue;
+                }
+                let e = holders.entry(*line).or_insert((0, 0, usize::MAX));
+                e.1 += 1;
+                if matches!(meta.state, LState::E | LState::M | LState::Me) {
+                    e.0 += 1;
+                    e.2 = hi;
+                }
+            }
+        }
+        for (line, (excl, total, eh)) in holders {
+            if excl > 1 {
+                return Err(format!("SWMR: {line} held exclusively by {excl} hosts"));
+            }
+            if excl == 1 && total > 1 {
+                return Err(format!(
+                    "SWMR: {line} exclusive at H{eh} but cached by {total} hosts"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reverse direction of the directory check: every cached S/E/M shared
+    /// line must have a matching device directory entry. ME lines live
+    /// outside the CXL coherence domain, kernel-resident pages are local
+    /// at their owner, and `LocalOnly` has no directory at all.
+    fn check_reverse_directory(&self) -> Result<(), String> {
+        if matches!(self.kind, SchemeKind::LocalOnly) {
+            return Ok(());
+        }
+        let dev: HashMap<LineAddr, DevState> = self.devdir_entries().into_iter().collect();
+        for (hi, host) in self.hosts.iter().enumerate() {
+            let h = HostId::new(hi);
+            for (line, meta) in host.llc.iter() {
+                if !line.is_shared(&self.cfg) || meta.state == LState::Me {
+                    continue;
+                }
+                if self.kind.uses_kernel_migration()
+                    && self.page_location.get(&line.page()) == Some(&h)
+                {
+                    continue;
+                }
+                match (meta.state, dev.get(line)) {
+                    (LState::S, Some(DevState::Shared(set))) if set.contains(h) => {}
+                    (LState::E | LState::M, Some(DevState::Modified(o))) if *o == h => {}
+                    (st, d) => {
+                        return Err(format!(
+                            "H{hi}: {line} cached {st:?} but device directory has {d:?}"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remap-table ↔ in-memory-bit ↔ migration-state agreement for the
+    /// PIPM-like schemes: local entries never alias across hosts, local
+    /// and global tables agree on the owner, and (PIPM proper) a set
+    /// in-memory bit removes the line from the CXL coherence domain.
+    /// HW-static's swap-on-access may legitimately set bits while a line
+    /// is still shared, so the bit checks apply to PIPM only.
+    fn check_remap_agreement(&self) -> Result<(), String> {
+        let SchemeState::PipmLike { global, static_map } = &self.scheme else {
+            return Ok(());
+        };
+        let dev: HashMap<LineAddr, DevState> = self.devdir_entries().into_iter().collect();
+        let mut owners: HashMap<PageNum, usize> = HashMap::new();
+        for (hi, host) in self.hosts.iter().enumerate() {
+            for (page, entry) in host.remap.pages() {
+                if let Some(prev) = owners.insert(page, hi) {
+                    return Err(format!(
+                        "remap alias: {page} has entries at H{prev} and H{hi}"
+                    ));
+                }
+                if let Some(map) = static_map {
+                    if map.target(page).index() != hi {
+                        return Err(format!(
+                            "H{hi}: HW-static entry for {page} but static target is {}",
+                            map.target(page)
+                        ));
+                    }
+                    continue;
+                }
+                match global.current(page) {
+                    Some(owner) if owner.index() == hi => {}
+                    other => {
+                        return Err(format!(
+                            "H{hi}: local entry for {page} but global current is {other:?}"
+                        ))
+                    }
+                }
+                for idx in 0..LINES_PER_PAGE as usize {
+                    if !entry.line_migrated(idx) {
+                        continue;
+                    }
+                    let line = page.line(idx);
+                    if let Some(d) = dev.get(&line) {
+                        return Err(format!(
+                            "H{hi}: in-memory bit set for {line} but device directory has {d:?}"
+                        ));
+                    }
+                    for (gi, other) in self.hosts.iter().enumerate() {
+                        let cached = other.llc.peek(line);
+                        if gi != hi && cached.is_some() {
+                            return Err(format!(
+                                "in-memory line {line} (owner H{hi}) cached at H{gi}"
+                            ));
+                        }
+                        if gi == hi {
+                            if let Some(m) = cached {
+                                if m.state != LState::Me {
+                                    return Err(format!(
+                                        "H{hi}: in-memory line {line} cached as {:?}, not ME",
+                                        m.state
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if static_map.is_none() {
+            for (page, owner) in global.migrated_pages() {
+                if owners.get(&page) != Some(&owner.index()) {
+                    return Err(format!(
+                        "global current {owner} for {page} without a local entry"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one inline invariant sweep. In harness mode failures are
+    /// recorded into the report; otherwise they abort the run (debug
+    /// builds / `check-invariants` feature).
+    fn invariant_epoch(&mut self) {
+        self.invariant_epochs += 1;
+        if let Err(e) = self.check_invariants_deep() {
+            if self.oracle.is_some() {
+                if self.invariant_failures.len() < 64 {
+                    self.invariant_failures
+                        .push(format!("epoch {}: {e}", self.invariant_epochs));
+                }
+            } else {
+                panic!("simulator invariants violated: {e}");
+            }
+        }
+    }
+
+    /// Abstracts the live simulator + oracle state of every touched shared
+    /// line into the protocol model's [`pipm_coherence::proto::LineState`],
+    /// for the model-reachability cross-check. Meaningful for the schemes
+    /// the abstract model covers (`Native` and `Pipm`) in harness mode;
+    /// returns an empty vector otherwise. HW-static's swap-on-access and
+    /// the kernel schemes' GIM path deliberately leave the modelled
+    /// protocol, so they are excluded.
+    pub fn snapshot_line_states(&self) -> Vec<pipm_coherence::proto::LineState> {
+        use pipm_coherence::proto;
+        let Some(oracle) = self.oracle.as_ref() else {
+            return Vec::new();
+        };
+        if !matches!(self.kind, SchemeKind::Native | SchemeKind::Pipm) {
+            return Vec::new();
+        }
+        let dev: HashMap<LineAddr, DevState> = self.devdir_entries().into_iter().collect();
+        let hosts = self.cfg.hosts;
+        let mut out = Vec::new();
+        for (line, shadow) in oracle.shared_lines() {
+            let page = line.page();
+            let idx = line.index_within_page();
+            let mut st = proto::LineState::new(hosts);
+            for hi in 0..hosts {
+                st.cache[hi] = match self.hosts[hi].llc.peek(line) {
+                    Some(m) => match m.state {
+                        LState::S => proto::CacheState::S,
+                        LState::E => proto::CacheState::E,
+                        LState::M => proto::CacheState::M,
+                        LState::Me => proto::CacheState::Me,
+                    },
+                    None => proto::CacheState::I,
+                };
+                st.cache_ver[hi] = shadow.cached[hi].unwrap_or(0);
+            }
+            st.dev = dev.get(&line).cloned();
+            if matches!(self.kind, SchemeKind::Pipm) {
+                for (hi, host) in self.hosts.iter().enumerate() {
+                    if let Some(e) = host.remap.entry(page) {
+                        st.migrated_to = Some(HostId::new(hi));
+                        st.inmem_bit = e.line_migrated(idx);
+                        st.mem_local_ver = shadow.local[hi];
+                        break; // no-alias invariant: at most one owner
+                    }
+                }
+            }
+            st.mem_cxl_ver = shadow.cxl;
+            st.latest = shadow.latest;
+            out.push(st);
+        }
+        out
+    }
+
     /// Diagnostic snapshot of shared-resource contention: per-link demand
     /// queue cycles, CXL DRAM queue cycles, and per-host local DRAM queue
     /// cycles. Used by examples and tuning tools.
@@ -376,6 +695,9 @@ impl System {
         self.maybe_interval(self.cores[ci].clock());
         self.maybe_warmup();
         self.processed += 1;
+        if INLINE_CHECKS && self.processed.is_multiple_of(INVARIANT_EPOCH) {
+            self.invariant_epoch();
+        }
 
         let core = &mut self.cores[ci];
         core.advance_compute(rec.nonmem);
@@ -446,8 +768,9 @@ impl System {
             self.stats.migration.harmful_promotions = k.harm.harmful();
             self.stats.migration.evaluated_promotions = k.harm.evaluated();
         }
-        #[cfg(debug_assertions)]
-        self.check_consistency().expect("simulator invariants");
+        if INLINE_CHECKS {
+            self.invariant_epoch();
+        }
         self.stats.clone()
     }
 
@@ -496,6 +819,12 @@ impl System {
                     }
                 }
             }
+            if let Some(o) = self.oracle.as_mut() {
+                o.cache_hit(hi, line);
+                if is_write {
+                    o.write_applied(hi, line);
+                }
+            }
             return (now + self.cfg.l1d.hit_latency, AccessClass::L1Hit, 0);
         }
 
@@ -526,6 +855,15 @@ impl System {
                     }
                 }
             }
+            // The S-write path checked the oracle inside `upgrade_shared`.
+            if !(is_write && meta.state == LState::S) {
+                if let Some(o) = self.oracle.as_mut() {
+                    o.cache_hit(hi, line);
+                    if is_write {
+                        o.write_applied(hi, line);
+                    }
+                }
+            }
             self.fill_l1(hi, li, line, is_write);
             return (done, class, queued);
         }
@@ -537,6 +875,12 @@ impl System {
             let done = self.hosts[hi].dram.access(addr, t, is_write);
             let state = if is_write { LState::M } else { LState::E };
             self.install(hi, li, line, state, is_write, t);
+            if let Some(o) = self.oracle.as_mut() {
+                o.fill_from_local(hi, line);
+                if is_write {
+                    o.write_applied(hi, line);
+                }
+            }
             return (done, AccessClass::LocalPrivate, 0);
         }
 
@@ -548,6 +892,12 @@ impl System {
                 let done = self.hosts[hi].dram.access(addr, t, is_write);
                 let state = if is_write { LState::M } else { LState::E };
                 self.install(hi, li, line, state, is_write, t);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.fill_from_local(hi, line);
+                    if is_write {
+                        o.write_applied(hi, line);
+                    }
+                }
                 (done, AccessClass::LocalShared, 0)
             }
             SchemeState::Kernel(k) => self.kernel_shared(k, hi, li, line, is_write, t),
@@ -581,6 +931,9 @@ impl System {
                 queued += inv.queued_behind_migration;
                 // Invalidate the sharer's cached copies.
                 self.invalidate_host_line(sharer.index(), line);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.drop_cached(sharer.index(), line);
+                }
                 // Ack returns to the device.
                 let ack = self.fabric.send(
                     sharer,
@@ -600,6 +953,10 @@ impl System {
         if let Some(m) = self.hosts[hi].llc.peek_mut(line) {
             m.state = LState::M;
             m.dirty = true;
+        }
+        if let Some(o) = self.oracle.as_mut() {
+            o.cache_hit(hi, line);
+            o.write_applied(hi, line);
         }
         let down = self
             .fabric
@@ -679,6 +1036,9 @@ impl System {
                     .peek(line)
                     .map(|m| m.dirty || m.state == LState::M)
                     .unwrap_or(false);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.fill_forward(hi, owner.index(), line, is_write);
+                }
                 if is_write {
                     self.invalidate_host_line(owner.index(), line);
                 } else {
@@ -709,7 +1069,19 @@ impl System {
                 let mut tt = t;
                 if is_write {
                     let mut max_ack = tt;
+                    #[cfg(feature = "fault-inject")]
+                    let mut fault_skipped = false;
                     for sharer in set.iter().filter(|&s| s != host) {
+                        // Deliberate coherence mutation for the harness
+                        // self-test: leave the first sharer's stale copy
+                        // behind. Never compiled into normal builds.
+                        #[cfg(feature = "fault-inject")]
+                        {
+                            if !fault_skipped {
+                                fault_skipped = true;
+                                continue;
+                            }
+                        }
                         let inv = self.fabric.send(
                             sharer,
                             Dir::ToHost,
@@ -718,6 +1090,9 @@ impl System {
                             false,
                         );
                         self.invalidate_host_line(sharer.index(), line);
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.drop_cached(sharer.index(), line);
+                        }
                         let ack = self.fabric.send(
                             sharer,
                             Dir::ToDevice,
@@ -730,6 +1105,9 @@ impl System {
                     tt = max_ack;
                 }
                 tt = self.cxl_dram.access(addr, tt, false);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.fill_from_cxl(hi, line);
+                }
                 self.devdir.remove(line);
                 let new_state = if is_write {
                     DevState::Modified(host)
@@ -750,6 +1128,9 @@ impl System {
                 // a miss — the local copy was evicted and removed). Plain
                 // CXL DRAM fill; sole accessor becomes the exclusive owner.
                 let tt = self.cxl_dram.access(addr, t, is_write);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.fill_from_cxl(hi, line);
+                }
                 if let Some(r) = self.devdir.update(line, DevState::Modified(host)) {
                     self.handle_recall(r, tt);
                 }
@@ -768,6 +1149,11 @@ impl System {
             },
         };
         self.install(hi, li, line, state, is_write, issue);
+        if is_write {
+            if let Some(o) = self.oracle.as_mut() {
+                o.write_applied(hi, line);
+            }
+        }
         (done.max(walk_ready), class, queued)
     }
 
@@ -791,6 +1177,12 @@ impl System {
                 let done = self.hosts[hi].dram.access(line.base_addr(), t, is_write);
                 let state = if is_write { LState::M } else { LState::E };
                 self.install(hi, li, line, state, is_write, t);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.fill_from_local(hi, line);
+                    if is_write {
+                        o.write_applied(hi, line);
+                    }
+                }
                 (done, AccessClass::LocalShared, 0)
             }
             Some(owner) => {
@@ -815,6 +1207,15 @@ impl System {
                     + fwd.queued_behind_migration
                     + back.queued_behind_migration
                     + down.queued_behind_migration;
+                if let Some(o) = self.oracle.as_mut() {
+                    // GIM semantics: the access is applied in place at the
+                    // resident host; the requester caches nothing.
+                    if is_write {
+                        o.gim_write(owner.index(), line);
+                    } else {
+                        o.gim_read(hi, owner.index(), line);
+                    }
+                }
                 (down.at, AccessClass::InterHost, queued)
             }
             None => self.shared_via_cxl(hi, li, line, is_write, t, None),
@@ -863,20 +1264,39 @@ impl System {
                 // Case ③: I′ → serve from local DRAM, cache as ME.
                 let done = self.hosts[hi].dram.access(line.base_addr(), t, is_write);
                 self.install(hi, li, line, LState::Me, is_write, t);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.fill_from_local(hi, line);
+                    if is_write {
+                        o.write_applied(hi, line);
+                    }
+                }
                 return (done, AccessClass::LocalShared, 0);
             }
             // Line not yet migrated: cacheable CXL access, bypassing the
             // global vote (local accesses to partially migrated pages do
             // not reach the global counter, Figure 7 ④).
             let out = self.shared_via_cxl(hi, li, line, is_write, t, None);
-            if static_map.is_some() {
+            if static_map.is_some()
+                && matches!(self.devdir.lookup(line),
+                            Some(DevState::Modified(h)) if h == host)
+            {
                 // Intel-Flat-Mode-like swap-on-access: HW-static installs
                 // the line into its statically mapped local frame as soon
                 // as the host touches it (no adaptive policy, no vote).
+                // Swapping relocates the line out of the CXL coherence
+                // domain, so it is only legal while this host is the sole
+                // cached holder — a line still shared by other hosts stays
+                // in CXL until the sharers drop it (same rule as
+                // `sector_migrate`; previously the bit was set regardless,
+                // leaving remote S copies that later writes through the
+                // migrated path never invalidated).
                 self.hosts[hi].dram.write_buffered(line.base_addr(), t);
                 self.hosts[hi].remap.set_line(page, idx);
                 self.stats.migration.lines_migrated_in += 1;
                 self.stats.migration.transfer_bytes += 64;
+                if let Some(o) = self.oracle.as_mut() {
+                    o.cached_to_local(hi, line);
+                }
             }
             return out;
         }
@@ -914,6 +1334,9 @@ impl System {
                             .send(owner, Dir::ToHost, tt, self.fabric.header_bytes(), false);
                     tt = fwd.at + self.cfg.llc_per_core.hit_latency;
                     let cached = self.hosts[owner.index()].llc.peek(line).is_some();
+                    if let Some(o) = self.oracle.as_mut() {
+                        o.fill_from_owner_memory(hi, owner.index(), line, cached, is_write);
+                    }
                     if cached {
                         if is_write {
                             self.invalidate_host_line(owner.index(), line); // case ⑤
@@ -960,6 +1383,11 @@ impl System {
                         LState::E
                     };
                     self.install(hi, li, line, state, is_write, t);
+                    if is_write {
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.write_applied(hi, line);
+                        }
+                    }
                     (down.at, AccessClass::InterHost, queued)
                 } else {
                     // The requested line still lives in CXL memory: normal
@@ -1029,6 +1457,9 @@ impl System {
             self.hosts[hi].remap.set_line(page, i);
             self.stats.migration.lines_migrated_in += 1;
             self.stats.migration.transfer_bytes += 64;
+            if let Some(o) = self.oracle.as_mut() {
+                o.cxl_to_local(hi, line);
+            }
         }
     }
 
@@ -1043,6 +1474,12 @@ impl System {
         // Flush any cached (ME) lines of the page at the owner.
         for i in 0..LINES_PER_PAGE as usize {
             if entry.line_migrated(i) {
+                if let Some(o) = self.oracle.as_mut() {
+                    // Writeback-invalidate: an ME copy lands in local DRAM
+                    // before the bulk transfer carries it back to CXL.
+                    o.evict_to_local(oi, page.line(i));
+                    o.local_to_cxl(oi, page.line(i));
+                }
                 self.invalidate_host_line(oi, page.line(i));
             }
         }
@@ -1107,6 +1544,9 @@ impl System {
             }
         }
         if !vline.is_shared(&self.cfg) {
+            if let Some(o) = self.oracle.as_mut() {
+                o.evict_to_local(hi, vline);
+            }
             if vmeta.dirty {
                 self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
             }
@@ -1114,6 +1554,9 @@ impl System {
         }
         match self.kind {
             SchemeKind::LocalOnly => {
+                if let Some(o) = self.oracle.as_mut() {
+                    o.evict_to_local(hi, vline);
+                }
                 if vmeta.dirty {
                     self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
                 }
@@ -1124,6 +1567,9 @@ impl System {
             k if k.uses_kernel_migration() => {
                 let resident = self.page_location.get(&vline.page()).copied();
                 if resident == Some(host) {
+                    if let Some(o) = self.oracle.as_mut() {
+                        o.evict_to_local(hi, vline);
+                    }
                     if vmeta.dirty {
                         self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
                     }
@@ -1137,12 +1583,18 @@ impl System {
                 match vmeta.state {
                     LState::Me => {
                         // Case ④: writeback to local DRAM only.
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.evict_to_local(hi, vline);
+                        }
                         self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
                     }
                     LState::M | LState::E => {
                         if self.hosts[hi].remap.entry(page).is_some() {
                             // Case ① (and its clean-exclusive analogue):
                             // incremental migration into local DRAM.
+                            if let Some(o) = self.oracle.as_mut() {
+                                o.evict_to_local(hi, vline);
+                            }
                             self.hosts[hi].dram.write_buffered(vline.base_addr(), now);
                             self.hosts[hi].remap.set_line(page, idx);
                             self.devdir.remove(vline);
@@ -1157,6 +1609,9 @@ impl System {
                         }
                     }
                     LState::S => {
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.drop_cached(hi, vline);
+                        }
                         self.devdir.remove_sharer(vline, host);
                     }
                 }
@@ -1169,8 +1624,16 @@ impl System {
     fn native_evict(&mut self, hi: usize, vline: LineAddr, vmeta: LlcMeta, now: Cycle) {
         let host = HostId::new(hi);
         match vmeta.state {
-            LState::S => self.devdir.remove_sharer(vline, host),
+            LState::S => {
+                if let Some(o) = self.oracle.as_mut() {
+                    o.drop_cached(hi, vline);
+                }
+                self.devdir.remove_sharer(vline, host);
+            }
             _ => {
+                if let Some(o) = self.oracle.as_mut() {
+                    o.evict_to_cxl(hi, vline);
+                }
                 if vmeta.dirty {
                     let arr = self.fabric.send(host, Dir::ToDevice, now, DATA_MSG, false);
                     self.cxl_dram.write_buffered(vline.base_addr(), arr.at);
@@ -1213,6 +1676,9 @@ impl System {
                     .peek(recall.line)
                     .map(|m| m.dirty)
                     .unwrap_or(false);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.evict_to_cxl(owner.index(), recall.line);
+                }
                 self.invalidate_host_line(owner.index(), recall.line);
                 if dirty {
                     let arr = self.fabric.send(owner, Dir::ToDevice, now, DATA_MSG, false);
@@ -1222,6 +1688,9 @@ impl System {
             }
             DevState::Shared(set) => {
                 for h in set.iter() {
+                    if let Some(o) = self.oracle.as_mut() {
+                        o.drop_cached(h.index(), recall.line);
+                    }
                     self.invalidate_host_line(h.index(), recall.line);
                     self.fabric
                         .send(h, Dir::ToHost, now, self.fabric.header_bytes(), false);
@@ -1279,22 +1748,26 @@ impl System {
         let mut promos_per_host = vec![0u64; self.cfg.hosts];
 
         for (page, owner) in &outcome.demotions {
-            let oi = owner.index();
-            self.flush_page(oi, *page);
-            let t = self.hosts[oi]
-                .dram
-                .bulk_transfer(page.base_addr(), now, PAGE_SIZE);
-            let arr = self.fabric.send(*owner, Dir::ToDevice, t, PAGE_SIZE, true);
-            self.cxl_dram
-                .bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
-            self.page_location.remove(page);
-            k.harm.on_demote(*page);
-            self.hosts[oi].resident_pages = self.hosts[oi].resident_pages.saturating_sub(1);
-            self.stats.migration.pages_demoted += 1;
-            self.stats.migration.transfer_bytes += PAGE_SIZE;
+            // The policy's residency view can drift from the page table
+            // (e.g. same-interval promote/demote churn); a demotion for a
+            // page not actually resident at the claimed owner would bulk-
+            // copy unrelated local DRAM over the current CXL image.
+            if self.page_location.get(page) != Some(owner) {
+                continue;
+            }
+            self.demote_kernel_page(k, *page, *owner, now);
         }
 
         for (page, dest) in &outcome.promotions {
+            match self.page_location.get(page).copied() {
+                Some(cur) if cur == *dest => continue,
+                // Already resident elsewhere: the current owner's local
+                // DRAM holds the only up-to-date copy, so demote it back
+                // through CXL first — promoting the stale CXL image would
+                // silently lose the owner's writes.
+                Some(cur) => self.demote_kernel_page(k, *page, cur, now),
+                None => {}
+            }
             let di = dest.index();
             // Flush every host's cached copies (the page leaves the CXL
             // coherence domain) and drop directory entries.
@@ -1303,6 +1776,16 @@ impl System {
             }
             for i in 0..LINES_PER_PAGE as usize {
                 self.devdir.remove(page.line(i));
+            }
+            if let Some(o) = self.oracle.as_mut() {
+                // CXL-domain copies flush back to CXL DRAM, then the page
+                // travels CXL → destination local DRAM in bulk.
+                for i in 0..LINES_PER_PAGE as usize {
+                    for hj in 0..self.cfg.hosts {
+                        o.evict_to_cxl(hj, page.line(i));
+                    }
+                    o.cxl_to_local(di, page.line(i));
+                }
             }
             let t = self
                 .cxl_dram
@@ -1352,6 +1835,37 @@ impl System {
 
     /// Removes all cached lines of `page` from host `hi` (migration
     /// shootdown).
+    /// Demotes a kernel-resident page from `owner` back to CXL DRAM:
+    /// cached copies flush into local DRAM, then the whole page travels
+    /// local → CXL with a bulk transfer.
+    fn demote_kernel_page(
+        &mut self,
+        k: &mut KernelState,
+        page: PageNum,
+        owner: HostId,
+        now: Cycle,
+    ) {
+        let oi = owner.index();
+        if let Some(o) = self.oracle.as_mut() {
+            for i in 0..LINES_PER_PAGE as usize {
+                o.evict_to_local(oi, page.line(i));
+                o.local_to_cxl(oi, page.line(i));
+            }
+        }
+        self.flush_page(oi, page);
+        let t = self.hosts[oi]
+            .dram
+            .bulk_transfer(page.base_addr(), now, PAGE_SIZE);
+        let arr = self.fabric.send(owner, Dir::ToDevice, t, PAGE_SIZE, true);
+        self.cxl_dram
+            .bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
+        self.page_location.remove(&page);
+        k.harm.on_demote(page);
+        self.hosts[oi].resident_pages = self.hosts[oi].resident_pages.saturating_sub(1);
+        self.stats.migration.pages_demoted += 1;
+        self.stats.migration.transfer_bytes += PAGE_SIZE;
+    }
+
     fn flush_page(&mut self, hi: usize, page: PageNum) {
         for i in 0..LINES_PER_PAGE as usize {
             let line = page.line(i);

@@ -143,6 +143,7 @@ impl Dram {
             self.t_rc,
             self.burst_cycles,
         );
+        let prev = checks::snapshot(&self.channels[ch_idx], bank_idx);
         let ch = &mut self.channels[ch_idx];
         let bank = &mut ch.banks[bank_idx];
 
@@ -189,6 +190,7 @@ impl Dram {
         }
         self.stats.bytes += LINE_SIZE;
         let _ = is_write;
+        checks::bank_monotonic(&self.channels[ch_idx], bank_idx, prev, now, done);
         done
     }
 
@@ -224,11 +226,13 @@ impl Dram {
     pub fn write_buffered(&mut self, addr: Addr, now: Cycle) -> Cycle {
         let (ch_idx, _, _) = self.map(addr);
         let ch = &mut self.channels[ch_idx];
+        let prev_bus = ch.bus_busy_until;
         let start = now.max(ch.bus_busy_until);
         let done = start + self.burst_cycles;
         ch.bus_busy_until = done;
         self.stats.accesses += 1;
         self.stats.bytes += LINE_SIZE;
+        checks::bus_monotonic(&self.channels[ch_idx], prev_bus, now, done);
         done
     }
 
@@ -238,12 +242,14 @@ impl Dram {
     pub fn bulk_transfer(&mut self, addr: Addr, now: Cycle, bytes: u64) -> Cycle {
         let (ch_idx, _, _) = self.map(addr);
         let ch = &mut self.channels[ch_idx];
+        let prev_bus = ch.bus_busy_until;
         let lines = bytes.div_ceil(LINE_SIZE);
         let start = now.max(ch.bus_busy_until);
         let done = start + lines * self.burst_cycles;
         ch.bus_busy_until = done;
         self.stats.bytes += bytes;
         self.stats.queue_cycles += start - now;
+        checks::bus_monotonic(&self.channels[ch_idx], prev_bus, now, done);
         done
     }
 
@@ -269,6 +275,80 @@ impl Dram {
         self.stats = DramStats::default();
     }
 }
+
+/// Timing-invariant assertions: active under `debug_assertions` or the
+/// `check-invariants` feature, compiled to nothing otherwise so release
+/// figure runs stay bit-identical and assertion-free.
+mod checks {
+    use super::{Channel, Cycle};
+
+    /// Whether the invariant checks are active in this build.
+    pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "check-invariants"));
+
+    /// Pre-access snapshot of the timestamps that must only move forward.
+    #[derive(Clone, Copy)]
+    pub struct Snapshot {
+        busy_until: Cycle,
+        last_activate: Cycle,
+        bus_busy_until: Cycle,
+    }
+
+    pub fn snapshot(ch: &Channel, bank: usize) -> Snapshot {
+        Snapshot {
+            busy_until: ch.banks[bank].busy_until,
+            last_activate: ch.banks[bank].last_activate,
+            bus_busy_until: ch.bus_busy_until,
+        }
+    }
+
+    /// Per-bank busy-until, last-activate, and channel-bus accumulators
+    /// must be monotonically non-decreasing, and completion must follow
+    /// issue.
+    pub fn bank_monotonic(ch: &Channel, bank: usize, prev: Snapshot, now: Cycle, done: Cycle) {
+        if !ENABLED {
+            return;
+        }
+        let b = &ch.banks[bank];
+        assert!(
+            b.busy_until >= prev.busy_until,
+            "bank busy_until regressed: {} -> {}",
+            prev.busy_until,
+            b.busy_until
+        );
+        assert!(
+            b.last_activate >= prev.last_activate,
+            "bank last_activate regressed: {} -> {}",
+            prev.last_activate,
+            b.last_activate
+        );
+        assert!(
+            ch.bus_busy_until >= prev.bus_busy_until,
+            "channel bus_busy_until regressed: {} -> {}",
+            prev.bus_busy_until,
+            ch.bus_busy_until
+        );
+        assert!(done > now, "completion {done} must follow issue {now}");
+    }
+
+    /// Channel-bus accumulator must be monotonic for buffered writes and
+    /// bulk transfers; completion must not precede issue.
+    pub fn bus_monotonic(ch: &Channel, prev_bus: Cycle, now: Cycle, done: Cycle) {
+        if !ENABLED {
+            return;
+        }
+        assert!(
+            ch.bus_busy_until >= prev_bus,
+            "channel bus_busy_until regressed: {} -> {}",
+            prev_bus,
+            ch.bus_busy_until
+        );
+        assert!(done >= now, "completion {done} precedes issue {now}");
+    }
+}
+
+/// Whether DRAM timing-invariant checks are compiled into this build
+/// (`debug_assertions` or the `check-invariants` feature).
+pub const INVARIANT_CHECKS_ENABLED: bool = checks::ENABLED;
 
 #[cfg(test)]
 mod tests {
@@ -381,6 +461,16 @@ mod tests {
             t
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn invariant_checks_active_in_test_builds() {
+        // Test profiles keep debug_assertions on, so the monotonicity
+        // checks must be live here even without the cargo feature.
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(INVARIANT_CHECKS_ENABLED);
+        }
     }
 
     #[test]

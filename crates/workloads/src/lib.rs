@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 mod spec;
 mod stream;
 pub mod trace;
 mod zipf;
 
+pub use fuzz::{FuzzPattern, FuzzSpec};
 pub use spec::{Spec, Workload, WorkloadParams};
 pub use stream::SyntheticStream;
 pub use zipf::Zipfian;

@@ -18,7 +18,13 @@
 //! * Random cases are generated from a seed derived from the test's
 //!   module path and name, so runs are fully deterministic and failures
 //!   always reproduce.
-//! * No shrinking: failures report the already-generated inputs.
+//! * **Greedy shrinking**: when a case fails (via `prop_assert*` or a
+//!   panic inside the property body), the runner repeatedly re-runs the
+//!   property on [`Strategy::shrink`] candidates, keeping any candidate
+//!   that still fails, until no candidate fails (or a step budget is
+//!   exhausted). The panic message reports both the original failing case
+//!   and the shrunken minimal input, which can be pinned as a regression
+//!   test (see `proptest-regressions/`).
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +44,43 @@ pub mod strategy {
 
         /// A random value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of `v`, most aggressive first. An
+        /// empty vector means `v` is already minimal. Used by the test
+        /// runner's greedy shrink loop after a failing case.
+        fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+    }
+
+    impl<S: Strategy> Strategy for &S {
+        type Value = S::Value;
+        fn simplest(&self) -> Self::Value {
+            (**self).simplest()
+        }
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(v)
+        }
+    }
+
+    /// Shrink candidates for an integer toward `lo`: the minimum itself,
+    /// the midpoint, and the predecessor (aggressive first).
+    fn shrink_uint(lo: u64, v: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != lo {
+                out.push(v - 1);
+            }
+        }
+        out
     }
 
     macro_rules! impl_strategy_uint_range {
@@ -53,6 +96,12 @@ pub mod strategy {
                     let span = (self.end - self.start) as u64;
                     self.start + rng.below(span) as $t
                 }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    shrink_uint(self.start as u64, *v as u64)
+                        .into_iter()
+                        .map(|x| x as $t)
+                        .collect()
+                }
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
@@ -66,30 +115,55 @@ pub mod strategy {
                     }
                     *self.start() + rng.below(span + 1) as $t
                 }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    shrink_uint(*self.start() as u64, *v as u64)
+                        .into_iter()
+                        .map(|x| x as $t)
+                        .collect()
+                }
             }
         )*};
     }
 
     impl_strategy_uint_range!(u64, u32, u16, u8, usize);
 
-    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-        type Value = (A::Value, B::Value);
-        fn simplest(&self) -> Self::Value {
-            (self.0.simplest(), self.1.simplest())
-        }
-        fn sample(&self, rng: &mut TestRng) -> Self::Value {
-            (self.0.sample(rng), self.1.sample(rng))
-        }
+    /// Tuple strategies: components are sampled left to right; shrinking
+    /// simplifies one component at a time, leftmost first.
+    macro_rules! impl_strategy_tuple {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone),+
+            {
+                type Value = ($($S::Value,)+);
+                fn simplest(&self) -> Self::Value {
+                    ($(self.$idx.simplest(),)+)
+                }
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+                fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&v.$idx) {
+                            let mut next = v.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
     }
 
-    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-        type Value = (A::Value, B::Value, C::Value);
-        fn simplest(&self) -> Self::Value {
-            (self.0.simplest(), self.1.simplest(), self.2.simplest())
-        }
-        fn sample(&self, rng: &mut TestRng) -> Self::Value {
-            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-        }
+    impl_strategy_tuple! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
     }
 
     /// Strategy for `Vec`s of another strategy's values.
@@ -98,7 +172,10 @@ pub mod strategy {
         pub(crate) size: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn simplest(&self) -> Self::Value {
             (0..self.size.start).map(|_| self.elem.simplest()).collect()
@@ -106,6 +183,33 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
             let len = self.size.clone().sample(rng);
             (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let min = self.size.start;
+            let mut out = Vec::new();
+            // Length reductions first (aggressive): halve, then remove each
+            // single element in turn so a failing element can migrate to any
+            // position before element-wise shrinking takes over.
+            if v.len() > min {
+                let half = min.max(v.len() / 2);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                for i in 0..v.len() {
+                    let mut next = v.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            // Then element-wise simplification.
+            for i in 0..v.len() {
+                for cand in self.elem.shrink(&v[i]) {
+                    let mut next = v.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -119,6 +223,13 @@ pub mod strategy {
         }
         fn sample(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self, v: &bool) -> Vec<bool> {
+            if *v {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -189,6 +300,68 @@ pub mod test_runner {
         }
     }
 
+    /// Greedy shrink loop: starting from a failing input, repeatedly try
+    /// the strategy's shrink candidates and keep any candidate that still
+    /// fails, until a fixpoint (or the step budget runs out). Returns the
+    /// minimal failing input, its failure, and the number of successful
+    /// shrink steps taken. Used by the [`proptest!`](crate::proptest)
+    /// macro; exposed for testing the shim itself.
+    pub fn shrink_failure<S, F>(
+        strategy: &S,
+        mut value: S::Value,
+        mut error: TestCaseError,
+        run: F,
+    ) -> (S::Value, TestCaseError, usize)
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut steps = 0usize;
+        let mut budget = 1_000usize;
+        loop {
+            let mut improved = false;
+            for cand in strategy.shrink(&value) {
+                if budget == 0 {
+                    return (value, error, steps);
+                }
+                budget -= 1;
+                if let Err(e) = run(&cand) {
+                    value = cand;
+                    error = e;
+                    steps += 1;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                return (value, error, steps);
+            }
+        }
+    }
+
+    /// Identity helper that ties a property-runner closure's argument type
+    /// to a strategy's value type (used by the `proptest!` macro so the
+    /// closure can be defined before its first call).
+    pub fn property_runner<S, F>(_strategy: &S, run: F) -> F
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone,
+        F: Fn(&S::Value) -> Result<(), TestCaseError>,
+    {
+        run
+    }
+
+    /// Renders a caught panic payload as a failure message.
+    pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "property body panicked".to_string()
+        }
+    }
+
     /// Deterministic per-test RNG (SplitMix64 seeded from the test name).
     pub struct TestRng {
         state: u64,
@@ -233,7 +406,7 @@ pub mod prelude {
 }
 
 /// Defines property tests. See the crate docs for semantics (minimal
-/// case first, deterministic random cases, no shrinking).
+/// case first, deterministic random cases, greedy shrinking on failure).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -259,28 +432,51 @@ macro_rules! __proptest_impl {
                 let mut __rng = $crate::test_runner::TestRng::deterministic(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
+                // All argument strategies combine into one tuple strategy
+                // so the shrink loop can simplify any component.
+                let __strats = ( $( &($strat), )+ );
+                let __run = $crate::test_runner::property_runner(&__strats, |__vals| {
+                    let ( $($arg,)+ ) = ::std::clone::Clone::clone(__vals);
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > {
+                            $body
+                            ::std::result::Result::Ok(())
+                        }),
+                    );
+                    match __result {
+                        ::std::result::Result::Ok(r) => r,
+                        ::std::result::Result::Err(p) => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::fail(
+                                $crate::test_runner::panic_message(p),
+                            ),
+                        ),
+                    }
+                });
                 for __case in 0..__config.cases {
-                    $(
-                        let $arg = if __case == 0 {
-                            $crate::strategy::Strategy::simplest(&($strat))
-                        } else {
-                            $crate::strategy::Strategy::sample(&($strat), &mut __rng)
-                        };
-                    )+
-                    let __result: ::std::result::Result<
-                        (),
-                        $crate::test_runner::TestCaseError,
-                    > = (|| {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    if let ::std::result::Result::Err(__e) = __result {
+                    let __vals = if __case == 0 {
+                        $crate::strategy::Strategy::simplest(&__strats)
+                    } else {
+                        $crate::strategy::Strategy::sample(&__strats, &mut __rng)
+                    };
+                    if let ::std::result::Result::Err(__e) = __run(&__vals) {
+                        let (__min, __min_e, __steps) = $crate::test_runner::shrink_failure(
+                            &__strats,
+                            __vals,
+                            __e,
+                            &__run,
+                        );
                         ::std::panic!(
-                            "property {} failed at case {}/{}: {}",
+                            "property {} failed at case {}/{}: {}\n\
+                             minimal failing input after {} shrink steps: {:?}",
                             stringify!($name),
                             __case,
                             __config.cases,
-                            __e
+                            __min_e,
+                            __steps,
+                            __min
                         );
                     }
                 }
@@ -319,6 +515,10 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} vs {:?})", format!($($fmt)+), l, r);
+    }};
 }
 
 /// Asserts inequality inside a property.
@@ -333,6 +533,10 @@ macro_rules! prop_assert_ne {
             stringify!($right),
             l
         );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "{} (both {:?})", format!($($fmt)+), l);
     }};
 }
 
@@ -391,6 +595,72 @@ mod tests {
             prop_assert_eq!(a as u64 + b, b + a as u64);
             prop_assert_ne!(b, 0);
         }
+    }
+
+    #[test]
+    fn shrink_reaches_boundary() {
+        // A predicate failing for x >= 17 must shrink to exactly 17.
+        let strat = 0u64..1000;
+        let run = |v: &u64| {
+            if *v >= 17 {
+                Err(crate::test_runner::TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let first_failure = 903u64; // arbitrary failing start point
+        let (min, _, steps) = crate::test_runner::shrink_failure(
+            &strat,
+            first_failure,
+            crate::test_runner::TestCaseError::fail("too big"),
+            run,
+        );
+        assert_eq!(min, 17);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_vec_reaches_minimal_length() {
+        // A predicate failing when the vec contains any element >= 3 must
+        // shrink to a single-element vector [3].
+        let strat = crate::collection::vec(0u32..100, 1..50);
+        let run = |v: &Vec<u32>| {
+            if v.iter().any(|&e| e >= 3) {
+                Err(crate::test_runner::TestCaseError::fail("has big elem"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = crate::test_runner::shrink_failure(
+            &strat,
+            vec![1, 40, 2, 99, 7],
+            crate::test_runner::TestCaseError::fail("has big elem"),
+            run,
+        );
+        assert_eq!(min, vec![3]);
+    }
+
+    #[test]
+    fn tuple_shrink_simplifies_each_component() {
+        use crate::strategy::Strategy;
+        let strat = (1u64..100, crate::bool::ANY);
+        let cands = strat.shrink(&(50, true));
+        assert!(cands.contains(&(1, true)), "{cands:?}");
+        assert!(cands.contains(&(50, false)), "{cands:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input after")]
+    fn panics_inside_properties_are_shrunk() {
+        // A plain assert! (panic, not prop_assert) must still be caught
+        // and shrunk; the final report names the minimal input.
+        crate::proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u64..100) {
+                assert!(x < 3, "boom at {x}");
+            }
+        }
+        inner();
     }
 
     #[test]

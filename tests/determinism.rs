@@ -3,9 +3,9 @@
 //! same qualitative behaviour.
 
 use pipm_bench::{Harness, RunSpec};
-use pipm_core::{run_many, run_one, RunJob};
+use pipm_core::{run_many, run_one, run_spec_many, RunJob, SpecJob};
 use pipm_types::{SchemeKind, SystemConfig};
-use pipm_workloads::{Workload, WorkloadParams};
+use pipm_workloads::{FuzzSpec, Workload, WorkloadParams};
 
 #[test]
 fn identical_runs_are_bit_identical() {
@@ -81,6 +81,61 @@ fn parallel_harness_matches_serial_bit_for_bit() {
         4,
         "duplicate spec must be served by the run cache"
     );
+}
+
+#[test]
+fn fuzz_specs_are_bit_identical_across_workers_and_repeats() {
+    // The harness's correctness claims lean on reproducibility: a shrunk
+    // failing FuzzSpec must replay the exact trace that failed, whatever
+    // the worker count. Fan the same fuzz jobs out at 1, 4, and
+    // max-parallelism workers and re-run the whole batch, comparing
+    // stats AND oracle/invariant reports bit for bit. This also pins the
+    // oracle's "pure bookkeeping" property — harness mode is on in every
+    // run, so any timing influence would break the cross-run equality of
+    // run_one-based figures elsewhere.
+    let jobs: Vec<SpecJob> = (0..3u64)
+        .flat_map(|pat| {
+            [0x0du64, 0x5eedu64].into_iter().map(move |seed| {
+                (
+                    FuzzSpec::from_draw(pat, 12 + pat * 30, 25, 40, seed, 3_000),
+                    if pat == 1 {
+                        SchemeKind::Pipm
+                    } else {
+                        SchemeKind::Hemem
+                    },
+                    FuzzSpec::base_config(),
+                )
+            })
+        })
+        .collect();
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let serial = run_spec_many(&jobs, 1);
+    for workers in [4, max] {
+        let par = run_spec_many(&jobs, workers);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(
+                a.stats, b.stats,
+                "{} {}: stats depend on workers",
+                a.spec, a.scheme
+            );
+            assert_eq!(
+                format!("{:?}", a.report),
+                format!("{:?}", b.report),
+                "{} {}: harness report depends on workers",
+                a.spec,
+                a.scheme
+            );
+        }
+    }
+    let again = run_spec_many(&jobs, max);
+    for (a, b) in serial.iter().zip(&again) {
+        assert_eq!(
+            a.stats, b.stats,
+            "{} {}: repeated run differs",
+            a.spec, a.scheme
+        );
+    }
 }
 
 #[test]

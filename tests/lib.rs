@@ -1,1 +1,18 @@
-//! Placeholder library for the integration-test package; all content lives in the [[test]] targets.
+//! Cross-crate integration tests for the PIPM workspace. All content
+//! lives in the `[[test]]` targets; this map says what each one covers.
+//!
+//! | target | what it checks |
+//! |---|---|
+//! | `end_to_end` | full simulations per scheme produce sane, populated statistics |
+//! | `scheme_ordering` | tier-1 qualitative results: scheme orderings and bands the paper's figures rest on |
+//! | `protocol_and_policy` | PIPM protocol cases ①–⑥, majority vote, revocation, and baseline policy behaviour |
+//! | `determinism` | bit-identical stats across repeats and worker counts, for both figure runs and fuzz-harness runs |
+//! | `scaling` | behaviour as hosts/cores/footprint scale |
+//! | `fuzz_harness` | differential correctness harness: seeded + property-based fuzz traces across all schemes under the functional oracle and inline SWMR/directory/remap invariants, plus the `pipm-mcheck` reachability cross-check |
+//! | `fault_injection` | harness self-test (requires `--features fault-inject`): a deliberately injected lost-invalidation must be caught by the oracle/invariants |
+//!
+//! The fuzz-harness pieces live in the library crates they exercise:
+//! the oracle and inline invariant checks in `pipm-core` (`oracle.rs`,
+//! `system.rs`), the trace fuzzer in `pipm-workloads` (`fuzz.rs`), and
+//! the reachable-state set in `pipm-mcheck`. See DESIGN.md §"Testing &
+//! verification" for how to reproduce and shrink a failing trace.

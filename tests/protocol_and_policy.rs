@@ -9,9 +9,12 @@ use proptest::prelude::*;
 #[test]
 fn protocol_verified_for_paper_configuration() {
     // The paper's Murφ runs verify the 4-host system of Table 2.
+    // 140 canonical states under the dead-version-masked abstraction
+    // (versions in I-state caches and bit-clear local memory are
+    // unreadable and therefore merged; see `LineState::latest_flags`).
     let report = Checker::new(4).run();
     assert!(report.is_ok(), "{report}");
-    assert!(report.states_explored > 500);
+    assert!(report.states_explored > 100);
 }
 
 #[test]
