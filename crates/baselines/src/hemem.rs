@@ -1,8 +1,8 @@
 //! HeMem: fixed-threshold frequency hotness.
 
 use crate::{HotnessPolicy, IntervalOutcome, ResidencyTracker};
+use pipm_types::FxHashMap;
 use pipm_types::{HostId, PageNum, SchemeKind};
-use std::collections::HashMap;
 
 /// Frequency-threshold policy in the style of HeMem (SOSP '21): a page
 /// whose access count within one interval reaches the construction-time
@@ -16,7 +16,7 @@ pub struct HememPolicy {
     tracker: ResidencyTracker,
     threshold: u32,
     budget: usize,
-    counters: Vec<HashMap<PageNum, u32>>,
+    counters: Vec<FxHashMap<PageNum, u32>>,
 }
 
 impl HememPolicy {
@@ -31,7 +31,7 @@ impl HememPolicy {
             tracker: ResidencyTracker::new(hosts, capacity_pages),
             threshold,
             budget: usize::MAX,
-            counters: vec![HashMap::new(); hosts],
+            counters: vec![FxHashMap::default(); hosts],
         }
     }
 

@@ -55,7 +55,7 @@ pub use memtis::MemtisPolicy;
 pub use nomad::NomadPolicy;
 pub use osskew::OsSkewPolicy;
 
-use pipm_types::{HostId, PageNum, SchemeKind};
+use pipm_types::{HostId, PageNum, PageTable, SchemeKind};
 
 /// Promotions and demotions decided at an interval boundary.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -110,7 +110,7 @@ pub trait HotnessPolicy: std::fmt::Debug {
 #[derive(Clone, Debug)]
 pub(crate) struct ResidencyTracker {
     capacity_pages: usize,
-    resident: Vec<std::collections::HashMap<PageNum, u64>>, // page → last interval touched
+    resident: Vec<PageTable<u64>>, // page → last interval touched
     interval: u64,
 }
 
@@ -118,7 +118,7 @@ impl ResidencyTracker {
     pub(crate) fn new(hosts: usize, capacity_pages: usize) -> Self {
         ResidencyTracker {
             capacity_pages,
-            resident: vec![std::collections::HashMap::new(); hosts],
+            resident: vec![PageTable::new(); hosts],
             interval: 0,
         }
     }
@@ -135,12 +135,12 @@ impl ResidencyTracker {
     pub(crate) fn location(&self, page: PageNum) -> Option<HostId> {
         self.resident
             .iter()
-            .position(|m| m.contains_key(&page))
+            .position(|m| m.contains(page))
             .map(HostId::new)
     }
 
     pub(crate) fn touch(&mut self, host: HostId, page: PageNum) {
-        if let Some(t) = self.resident[host.index()].get_mut(&page) {
+        if let Some(t) = self.resident[host.index()].get_mut(page) {
             *t = self.interval;
         }
     }
@@ -151,7 +151,7 @@ impl ResidencyTracker {
     }
 
     pub(crate) fn is_resident(&self, page: PageNum) -> bool {
-        self.resident.iter().any(|m| m.contains_key(&page))
+        self.resident.iter().any(|m| m.contains(page))
     }
 
     /// Registers a promotion; returns demotions needed to stay within
@@ -160,7 +160,7 @@ impl ResidencyTracker {
     /// desynchronizes the policy's residency view from the simulator's
     /// page table (the page keeps bouncing between hosts while the
     /// policy believes it lives nowhere). Timestamp ties break by page
-    /// number so the choice is independent of hash-map iteration order.
+    /// number so the choice is independent of map iteration order.
     pub(crate) fn promote(&mut self, host: HostId, page: PageNum) -> Vec<(PageNum, HostId)> {
         let iv = self.interval;
         self.resident[host.index()].insert(page, iv);
@@ -168,12 +168,12 @@ impl ResidencyTracker {
         while self.resident[host.index()].len() > self.capacity_pages {
             let victim = self.resident[host.index()]
                 .iter()
-                .filter(|(&p, _)| p != page)
-                .min_by_key(|(&p, &t)| (t, p))
-                .map(|(&p, _)| p);
+                .filter(|&(p, _)| p != page)
+                .min_by_key(|&(p, &t)| (t, p))
+                .map(|(p, _)| p);
             match victim {
                 Some(v) => {
-                    self.resident[host.index()].remove(&v);
+                    self.resident[host.index()].remove(v);
                     demote.push((v, host));
                 }
                 None => break,
@@ -183,18 +183,18 @@ impl ResidencyTracker {
     }
 
     pub(crate) fn demote(&mut self, host: HostId, page: PageNum) -> bool {
-        self.resident[host.index()].remove(&page).is_some()
+        self.resident[host.index()].remove(page).is_some()
     }
 
     /// Pages at `host` last touched at or before `cutoff` intervals ago,
-    /// in page order (hash-map iteration order must not leak into the
+    /// in page order (map iteration order must not leak into the
     /// demotion sequence, which feeds deterministic timing).
     pub(crate) fn idle_pages(&self, host: HostId, idle_intervals: u64) -> Vec<PageNum> {
         let cutoff = self.interval.saturating_sub(idle_intervals);
         let mut pages: Vec<PageNum> = self.resident[host.index()]
             .iter()
             .filter(|(_, &t)| t <= cutoff)
-            .map(|(&p, _)| p)
+            .map(|(p, _)| p)
             .collect();
         pages.sort_unstable();
         pages

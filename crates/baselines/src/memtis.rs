@@ -1,8 +1,8 @@
 //! Memtis: frequency-based hotness with exponential decay.
 
 use crate::{HotnessPolicy, IntervalOutcome, ResidencyTracker};
+use pipm_types::FxHashMap;
 use pipm_types::{HostId, PageNum, SchemeKind};
-use std::collections::HashMap;
 
 /// Frequency-based policy in the style of Memtis (SOSP '23): per-page
 /// access counters halved at every interval (the cooling mechanism); each
@@ -16,7 +16,7 @@ pub struct MemtisPolicy {
     tracker: ResidencyTracker,
     budget: usize,
     /// Per host: decayed per-page access counters.
-    counters: Vec<HashMap<PageNum, u32>>,
+    counters: Vec<FxHashMap<PageNum, u32>>,
 }
 
 impl MemtisPolicy {
@@ -29,7 +29,7 @@ impl MemtisPolicy {
         MemtisPolicy {
             tracker: ResidencyTracker::new(hosts, capacity_pages),
             budget,
-            counters: vec![HashMap::new(); hosts],
+            counters: vec![FxHashMap::default(); hosts],
         }
     }
 

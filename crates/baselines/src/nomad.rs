@@ -1,8 +1,8 @@
 //! Nomad: recency-based hotness with asynchronous transactional migration.
 
 use crate::{HotnessPolicy, IntervalOutcome, ResidencyTracker};
+use pipm_types::FxHashMap;
 use pipm_types::{HostId, PageNum, SchemeKind};
-use std::collections::HashMap;
 
 /// Recency-based policy in the style of Nomad (OSDI '24) and the kernel's
 /// transparent page placement: a page accessed in two consecutive intervals
@@ -19,9 +19,9 @@ pub struct NomadPolicy {
     tracker: ResidencyTracker,
     budget: usize,
     /// Per host: pages seen this interval → access count.
-    current: Vec<HashMap<PageNum, u32>>,
+    current: Vec<FxHashMap<PageNum, u32>>,
     /// Per host: pages seen last interval.
-    previous: Vec<HashMap<PageNum, u32>>,
+    previous: Vec<FxHashMap<PageNum, u32>>,
 }
 
 impl NomadPolicy {
@@ -34,8 +34,8 @@ impl NomadPolicy {
         NomadPolicy {
             tracker: ResidencyTracker::new(hosts, capacity_pages),
             budget,
-            current: vec![HashMap::new(); hosts],
-            previous: vec![HashMap::new(); hosts],
+            current: vec![FxHashMap::default(); hosts],
+            previous: vec![FxHashMap::default(); hosts],
         }
     }
 }

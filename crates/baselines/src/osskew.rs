@@ -1,8 +1,8 @@
 //! OS-skew: PIPM's majority-vote policy driving kernel page migration.
 
 use crate::{HotnessPolicy, IntervalOutcome, ResidencyTracker};
+use pipm_types::FxHashMap;
 use pipm_types::{HostId, PageNum, SchemeKind};
-use std::collections::HashMap;
 
 /// Boyer–Moore state for one page.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,12 +24,12 @@ pub struct OsSkewPolicy {
     tracker: ResidencyTracker,
     threshold: u8,
     budget: usize,
-    votes: HashMap<PageNum, Vote>,
+    votes: FxHashMap<PageNum, Vote>,
     /// Pages whose vote crossed the threshold this interval, with winner.
     pending: Vec<(PageNum, HostId)>,
     /// Resident pages' post-migration vote (local counter analogue):
     /// decremented by inter-host accesses, incremented by owner accesses.
-    resident_counter: HashMap<PageNum, u8>,
+    resident_counter: FxHashMap<PageNum, u8>,
     local_counter_max: u8,
 }
 
@@ -40,9 +40,9 @@ impl OsSkewPolicy {
             tracker: ResidencyTracker::new(hosts, capacity_pages),
             threshold,
             budget,
-            votes: HashMap::new(),
+            votes: FxHashMap::default(),
             pending: Vec::new(),
-            resident_counter: HashMap::new(),
+            resident_counter: FxHashMap::default(),
             local_counter_max: 15,
         }
     }

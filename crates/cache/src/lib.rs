@@ -90,6 +90,10 @@ impl CacheStats {
 pub struct SetAssoc<K, M> {
     sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (the common geometry), so
+    /// the per-access set index is a mask instead of a hardware divide;
+    /// `u64::MAX` sentinel otherwise (fall back to `%`).
+    set_mask: u64,
     storage: Vec<Vec<Way<K, M>>>,
     tick: u64,
     stats: CacheStats,
@@ -97,6 +101,11 @@ pub struct SetAssoc<K, M> {
 
 impl<K: CacheKey, M> SetAssoc<K, M> {
     /// Creates a structure with `sets` sets of `ways` ways.
+    ///
+    /// Set storage is allocated lazily on first insert: large, mostly-empty
+    /// structures (the CXL device directory is 512 Ki ways) would otherwise
+    /// pay tens of thousands of upfront allocations per simulated system,
+    /// which dominates short runs.
     ///
     /// # Panics
     ///
@@ -106,7 +115,12 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
         SetAssoc {
             sets,
             ways,
-            storage: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                u64::MAX
+            },
+            storage: (0..sets).map(|_| Vec::new()).collect(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -137,12 +151,19 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
         self.storage.iter().all(Vec::is_empty)
     }
 
+    #[inline]
     fn set_of(&self, key: K) -> usize {
-        (key.as_index() % self.sets as u64) as usize
+        let idx = key.as_index();
+        if self.set_mask != u64::MAX {
+            (idx & self.set_mask) as usize
+        } else {
+            (idx % self.sets as u64) as usize
+        }
     }
 
     /// Looks up `key`, updating recency and hit/miss statistics. Returns a
     /// mutable reference to the metadata on a hit.
+    #[inline]
     pub fn lookup(&mut self, key: K) -> Option<&mut M> {
         self.tick += 1;
         let tick = self.tick;
@@ -161,6 +182,7 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
     }
 
     /// Reads `key` without updating recency or statistics.
+    #[inline]
     pub fn peek(&self, key: K) -> Option<&M> {
         let set = self.set_of(key);
         self.storage[set]
@@ -170,6 +192,7 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
     }
 
     /// Mutates `key`'s metadata without updating recency or statistics.
+    #[inline]
     pub fn peek_mut(&mut self, key: K) -> Option<&mut M> {
         let set = self.set_of(key);
         self.storage[set]

@@ -139,9 +139,23 @@ impl DeviceDirectory {
         self.entries.stats()
     }
 
+    /// Peeks a line's state without touching LRU order or hit/miss
+    /// statistics. `None` means Invalid. For invariant checks and harness
+    /// snapshots — the timing path must use [`Self::lookup`].
+    pub fn peek(&self, line: LineAddr) -> Option<DevState> {
+        self.entries.peek(line).copied()
+    }
+
+    /// Iterates all `(line, state)` entries without allocating (and
+    /// without perturbing LRU or statistics), for invariant checking.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, DevState)> + '_ {
+        self.entries.iter().map(|(l, s)| (*l, *s))
+    }
+
     /// Snapshot of all `(line, state)` entries, for invariant checking.
+    /// Prefer [`Self::iter`]/[`Self::peek`], which do not allocate.
     pub fn entries_snapshot(&self) -> Vec<(LineAddr, DevState)> {
-        self.entries.iter().map(|(l, s)| (*l, *s)).collect()
+        self.iter().collect()
     }
 }
 

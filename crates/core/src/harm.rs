@@ -6,8 +6,7 @@
 //! accesses to the migrated page, plus the migration cost itself, exceeds
 //! the latency the owning host saved on its local accesses.
 
-use pipm_types::{Cycle, HostId, PageNum, SystemConfig};
-use std::collections::HashMap;
+use pipm_types::{Cycle, FxHashMap, HostId, PageNum, SystemConfig};
 
 #[derive(Clone, Copy, Debug)]
 struct Residency {
@@ -20,7 +19,7 @@ struct Residency {
 /// demotion (or end of run).
 #[derive(Clone, Debug)]
 pub struct HarmTracker {
-    active: HashMap<PageNum, Residency>,
+    active: FxHashMap<PageNum, Residency>,
     /// Estimated local DRAM access latency (cycles).
     lat_local: f64,
     /// Estimated CXL memory access latency (cycles).
@@ -45,7 +44,7 @@ impl HarmTracker {
         // 4 KB over the per-direction link bandwidth.
         let transfer = 4096.0 * pipm_types::CPU_GHZ / cfg.cxl.link_gbps;
         HarmTracker {
-            active: HashMap::new(),
+            active: FxHashMap::default(),
             lat_local: dram,
             lat_cxl: 2.0 * link + dir + dram,
             lat_inter: 4.0 * link + dir + 24.0 + dram,

@@ -30,14 +30,13 @@
 //! assert_eq!(hints.preferred(PageNum::new(9)), Some(HostId::new(2)));
 //! ```
 
-use pipm_types::{HostId, PageNum};
-use std::collections::{HashMap, HashSet};
+use pipm_types::{FxHashMap, FxHashSet, HostId, PageNum};
 
 /// Advisory page-placement hints supplied by the application (paper §6).
 #[derive(Clone, Debug, Default)]
 pub struct MigrationHints {
-    pinned: HashSet<PageNum>,
-    preferred: HashMap<PageNum, HostId>,
+    pinned: FxHashSet<PageNum>,
+    preferred: FxHashMap<PageNum, HostId>,
 }
 
 impl MigrationHints {

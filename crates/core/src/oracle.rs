@@ -33,8 +33,7 @@
 //! never propagated between replicas, exactly like the scheme it models).
 //! Private lines always use the owning host's domain.
 
-use pipm_types::{LineAddr, SystemConfig};
-use std::collections::HashMap;
+use pipm_types::{FxHashMap, LineAddr, SystemConfig};
 use std::fmt;
 
 /// Cap on recorded violations, so a badly broken run doesn't balloon memory.
@@ -94,7 +93,7 @@ pub struct Oracle {
     /// `Ideal` baseline: shared region replicated per host, no coherence.
     replicated: bool,
     shared_bytes: u64,
-    lines: HashMap<(u64, u32), Shadow>,
+    lines: FxHashMap<(u64, u32), Shadow>,
     violations: Vec<OracleViolation>,
     checks: u64,
     /// Debug aid: `PIPM_ORACLE_TRACE=<hex line>` prints every oracle hook
@@ -111,7 +110,7 @@ impl Oracle {
             hosts,
             replicated,
             shared_bytes: cfg.shared_bytes,
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             violations: Vec::new(),
             checks: 0,
             trace,

@@ -17,8 +17,7 @@
 //! [`LookupResult`]s.
 
 use pipm_cache::SetAssoc;
-use pipm_types::{Cycle, HostId, PageNum, PipmConfig};
-use std::collections::HashMap;
+use pipm_types::{Cycle, HostId, PageNum, PageTable, PipmConfig};
 
 /// Result of a remapping-cache access: how long the lookup took and
 /// whether it missed (requiring a DRAM table walk, already included in the
@@ -49,9 +48,13 @@ pub struct GlobalEntry {
 const GLOBAL_ENTRIES_PER_LINE: u64 = 32;
 
 /// The global remapping table plus its on-die cache.
+///
+/// The table is a dense [`PageTable`]: shared pages are a contiguous
+/// range from page zero, so every hot-path read is a direct index
+/// instead of a hash lookup.
 #[derive(Clone, Debug)]
 pub struct GlobalRemap {
-    table: HashMap<PageNum, GlobalEntry>,
+    table: PageTable<GlobalEntry>,
     cache: SetAssoc<PageNum, ()>,
     hit_latency: Cycle,
     counter_max: u8,
@@ -71,7 +74,7 @@ impl GlobalRemap {
             as usize;
         let ways = cfg.global_remap_cache_ways.min(lines);
         GlobalRemap {
-            table: HashMap::new(),
+            table: PageTable::new(),
             cache: SetAssoc::new((lines / ways).max(1), ways),
             hit_latency: cfg.global_remap_cache_latency,
             counter_max: cfg.global_counter_max,
@@ -98,7 +101,7 @@ impl GlobalRemap {
 
     /// Reads the entry for `page` (zero entry if never touched).
     pub fn entry(&self, page: PageNum) -> GlobalEntry {
-        self.table.get(&page).copied().unwrap_or_default()
+        self.table.get(page).copied().unwrap_or_default()
     }
 
     /// Applies one Boyer–Moore vote from `host`; returns `true` when the
@@ -106,7 +109,7 @@ impl GlobalRemap {
     /// partial-migration trigger, Figure 7 ②). Saturates at the 6-bit max.
     pub fn vote(&mut self, page: PageNum, host: HostId, threshold: u8) -> bool {
         let max = self.counter_max;
-        let e = self.table.entry(page).or_default();
+        let e = self.table.get_or_insert_with(page, GlobalEntry::default);
         if e.counter == 0 || e.candidate.is_none() {
             e.candidate = Some(host);
             e.counter = 1;
@@ -120,7 +123,7 @@ impl GlobalRemap {
 
     /// Marks `page` as partially migrated to `host` and resets the vote.
     pub fn set_current(&mut self, page: PageNum, host: HostId) {
-        let e = self.table.entry(page).or_default();
+        let e = self.table.get_or_insert_with(page, GlobalEntry::default);
         e.current_host = Some(host);
         e.counter = 0;
         e.candidate = None;
@@ -128,7 +131,7 @@ impl GlobalRemap {
 
     /// Clears the migration (revocation, Figure 7 ⑥).
     pub fn clear_current(&mut self, page: PageNum) {
-        if let Some(e) = self.table.get_mut(&page) {
+        if let Some(e) = self.table.get_mut(page) {
             e.current_host = None;
             e.counter = 0;
             e.candidate = None;
@@ -137,16 +140,16 @@ impl GlobalRemap {
 
     /// Host a page is currently migrated to, if any.
     pub fn current(&self, page: PageNum) -> Option<HostId> {
-        self.table.get(&page).and_then(|e| e.current_host)
+        self.table.get(page).and_then(|e| e.current_host)
     }
 
     /// Iterates every page currently marked migrated (`current_host` set),
-    /// in no particular order. Used by the inline invariant checks to
+    /// in ascending page order. Used by the inline invariant checks to
     /// verify global ↔ local table agreement.
     pub fn migrated_pages(&self) -> impl Iterator<Item = (PageNum, HostId)> + '_ {
         self.table
             .iter()
-            .filter_map(|(p, e)| e.current_host.map(|h| (*p, h)))
+            .filter_map(|(p, e)| e.current_host.map(|h| (p, h)))
     }
 
     /// Cache hit/miss statistics.
@@ -187,9 +190,12 @@ impl LocalEntry {
 }
 
 /// A host's local remapping table plus its on-die (root-complex) cache.
+///
+/// Like [`GlobalRemap`], the backing table is a dense [`PageTable`]
+/// indexed directly by shared page number.
 #[derive(Clone, Debug)]
 pub struct LocalRemap {
-    table: HashMap<PageNum, LocalEntry>,
+    table: PageTable<LocalEntry>,
     cache: SetAssoc<PageNum, ()>,
     hit_latency: Cycle,
     counter_max: u8,
@@ -208,7 +214,7 @@ impl LocalRemap {
         let entries = (cfg.local_remap_cache_bytes / 4).clamp(8, 1 << 26) as usize;
         let ways = cfg.local_remap_cache_ways.min(entries);
         LocalRemap {
-            table: HashMap::new(),
+            table: PageTable::new(),
             cache: SetAssoc::new((entries / ways).max(1), ways),
             hit_latency: cfg.local_remap_cache_latency,
             counter_max: cfg.local_counter_max,
@@ -235,13 +241,13 @@ impl LocalRemap {
 
     /// The entry for `page`, if partially migrated here.
     pub fn entry(&self, page: PageNum) -> Option<&LocalEntry> {
-        self.table.get(&page)
+        self.table.get(page)
     }
 
     /// Iterates every local entry (pages partially migrated to this host),
-    /// in no particular order. Used by the inline invariant checks.
+    /// in ascending page order. Used by the inline invariant checks.
     pub fn pages(&self) -> impl Iterator<Item = (PageNum, &LocalEntry)> + '_ {
-        self.table.iter().map(|(p, e)| (*p, e))
+        self.table.iter()
     }
 
     /// Number of pages with local entries.
@@ -259,7 +265,7 @@ impl LocalRemap {
     /// Returns `false` (and does nothing) if at capacity or already
     /// present.
     pub fn initiate(&mut self, page: PageNum, threshold: u8) -> bool {
-        if !self.has_capacity() || self.table.contains_key(&page) {
+        if !self.has_capacity() || self.table.contains(page) {
             return false;
         }
         let pfn = self.free_pfns.pop().unwrap_or_else(|| {
@@ -283,7 +289,7 @@ impl LocalRemap {
     /// local counter, saturating at the 4-bit max).
     pub fn local_access(&mut self, page: PageNum) {
         let max = self.counter_max;
-        if let Some(e) = self.table.get_mut(&page) {
+        if let Some(e) = self.table.get_mut(page) {
             e.counter = (e.counter + 1).min(max);
         }
     }
@@ -292,7 +298,7 @@ impl LocalRemap {
     /// (decrements the local counter). Returns `true` when the counter
     /// reaches zero — the revocation trigger (Figure 7 ⑥).
     pub fn interhost_access(&mut self, page: PageNum) -> bool {
-        if let Some(e) = self.table.get_mut(&page) {
+        if let Some(e) = self.table.get_mut(page) {
             e.counter = e.counter.saturating_sub(1);
             e.counter == 0
         } else {
@@ -302,7 +308,7 @@ impl LocalRemap {
 
     /// Sets line `idx`'s migrated bit (incremental migration).
     pub fn set_line(&mut self, page: PageNum, idx: usize) {
-        if let Some(e) = self.table.get_mut(&page) {
+        if let Some(e) = self.table.get_mut(page) {
             if e.line_bits & (1 << idx) == 0 {
                 e.line_bits |= 1 << idx;
                 self.lines_resident += 1;
@@ -313,7 +319,7 @@ impl LocalRemap {
 
     /// Clears line `idx`'s migrated bit (migration back to CXL).
     pub fn clear_line(&mut self, page: PageNum, idx: usize) {
-        if let Some(e) = self.table.get_mut(&page) {
+        if let Some(e) = self.table.get_mut(page) {
             if e.line_bits & (1 << idx) != 0 {
                 e.line_bits &= !(1 << idx);
                 self.lines_resident -= 1;
@@ -323,7 +329,7 @@ impl LocalRemap {
 
     /// Removes the entry (revocation), returning it. Frees the PFN.
     pub fn revoke(&mut self, page: PageNum) -> Option<LocalEntry> {
-        let e = self.table.remove(&page)?;
+        let e = self.table.remove(page)?;
         self.free_pfns.push(e.local_pfn);
         self.lines_resident -= u64::from(e.migrated_lines());
         self.cache.invalidate(page);

@@ -23,12 +23,15 @@ impl RunResult {
         self.stats.exec_cycles()
     }
 
-    /// Speedup of this run relative to `baseline` (>1 means faster).
+    /// Speedup of this run relative to `baseline` (>1 means faster). A
+    /// zero-cycle *self* is infinitely fast (`f64::INFINITY`); a
+    /// zero-cycle *baseline* makes any nonzero run infinitely slow
+    /// (`0.0`). Both zero is a degenerate 1.0 (neither did any work).
     pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
-        if self.exec_cycles() == 0 {
-            0.0
-        } else {
-            baseline.exec_cycles() as f64 / self.exec_cycles() as f64
+        match (baseline.exec_cycles(), self.exec_cycles()) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            (b, s) => b as f64 / s as f64,
         }
     }
 
@@ -204,4 +207,37 @@ pub fn run_schemes(
         .iter()
         .map(|&s| run_one(workload, s, cfg.clone(), params))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with_cycles(cycles: u64) -> RunResult {
+        let mut stats = SystemStats::new(1, 1);
+        stats.cores[0].cycles = cycles;
+        RunResult {
+            workload: Workload::Bfs,
+            scheme: SchemeKind::Native,
+            stats,
+            cfg: SystemConfig::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_over_degenerate_cases() {
+        let zero = result_with_cycles(0);
+        let hundred = result_with_cycles(100);
+        let fifty = result_with_cycles(50);
+
+        // A zero-cycle run is infinitely fast, not infinitely slow.
+        assert_eq!(zero.speedup_over(&hundred), f64::INFINITY);
+        // A zero-cycle baseline makes any real run look infinitely slow.
+        assert_eq!(hundred.speedup_over(&zero), 0.0);
+        // Neither run did work: conventionally equal.
+        assert_eq!(zero.speedup_over(&zero), 1.0);
+        // The ordinary case is untouched.
+        assert_eq!(fifty.speedup_over(&hundred), 2.0);
+        assert_eq!(hundred.speedup_over(&fifty), 0.5);
+    }
 }

@@ -23,10 +23,9 @@ use pipm_cpu::{AccessStream, CoreModel};
 use pipm_fabric::{Dir, Fabric};
 use pipm_mem::Dram;
 use pipm_types::{
-    AccessClass, Addr, Cycle, HostId, LineAddr, PageNum, SchemeKind, SystemConfig, SystemStats,
-    LINES_PER_PAGE, PAGE_SIZE,
+    AccessClass, Addr, Cycle, FxHashMap, HostId, LineAddr, PageNum, PageTable, SchemeKind,
+    SystemConfig, SystemStats, LINES_PER_PAGE, PAGE_SIZE,
 };
-use std::collections::{BinaryHeap, HashMap};
 
 /// Coherence state of a line in a host's LLC (the local coherence
 /// directory view; L1 copies are tracked separately as inclusive subsets).
@@ -71,11 +70,15 @@ enum SchemeState {
     Native,
     /// Local-only upper bound: every access is host-local.
     Ideal,
-    /// Kernel page migration driven by a hotness policy.
-    Kernel(KernelState),
+    /// Kernel page migration driven by a hotness policy. Boxed so the
+    /// enum stays pointer-sized: the empty variant is swapped in and out
+    /// around scheme dispatch on the shared-miss hot path, and moving a
+    /// large inline payload twice per miss is measurable.
+    Kernel(Box<KernelState>),
     /// PIPM or HW-static: incremental line migration via PIPM coherence.
+    /// Boxed for the same reason as [`SchemeState::Kernel`].
     PipmLike {
-        global: GlobalRemap,
+        global: Box<GlobalRemap>,
         static_map: Option<HwStaticMap>,
     },
 }
@@ -122,7 +125,11 @@ pub struct System {
     warmup_clock: Vec<Cycle>,
     warmup_instr: Vec<u64>,
     /// Kernel schemes: current location of migrated pages (`None` = CXL).
-    page_location: HashMap<PageNum, HostId>,
+    /// Dense: shared pages are contiguous from page zero.
+    page_location: PageTable<HostId>,
+    /// Reusable per-host promotion-count scratch, so the kernel outcome
+    /// path allocates nothing per interval.
+    promo_scratch: Vec<u64>,
     /// Application-supplied placement hints (paper §6), PIPM only.
     hints: crate::MigrationHints,
     /// Differential correctness oracle (harness mode only; `None` in
@@ -203,11 +210,11 @@ impl System {
             SchemeKind::Native => SchemeState::Native,
             SchemeKind::LocalOnly => SchemeState::Ideal,
             SchemeKind::Pipm => SchemeState::PipmLike {
-                global: GlobalRemap::new(&cfg.pipm),
+                global: Box::new(GlobalRemap::new(&cfg.pipm)),
                 static_map: None,
             },
             SchemeKind::HwStatic => SchemeState::PipmLike {
-                global: GlobalRemap::new(&cfg.pipm),
+                global: Box::new(GlobalRemap::new(&cfg.pipm)),
                 static_map: Some(HwStaticMap::new(cfg.hosts)),
             },
             kernel => {
@@ -235,13 +242,13 @@ impl System {
                 } else {
                     1.0
                 };
-                SchemeState::Kernel(KernelState {
+                SchemeState::Kernel(Box::new(KernelState {
                     policy,
                     next_interval: cfg.migration_interval_cycles,
                     harm: HarmTracker::new(&cfg),
                     init_mult,
                     tokens: 0.0,
-                })
+                }))
             }
         };
         let total_cores = cfg.total_cores();
@@ -260,7 +267,8 @@ impl System {
             warmed: false,
             warmup_clock: vec![0; total_cores],
             warmup_instr: vec![0; total_cores],
-            page_location: HashMap::new(),
+            page_location: PageTable::new(),
+            promo_scratch: Vec::new(),
             hints: crate::MigrationHints::new(),
             oracle: None,
             invariant_epochs: 0,
@@ -323,7 +331,7 @@ impl System {
     /// Returns a description of the first inconsistency found.
     pub fn check_consistency(&self) -> Result<(), String> {
         // Device directory entries must match cache states.
-        for (line, state) in self.devdir_entries() {
+        for (line, state) in self.devdir.iter() {
             match state {
                 DevState::Modified(owner) => {
                     let meta = self.hosts[owner.index()].llc.peek(line);
@@ -370,10 +378,6 @@ impl System {
         Ok(())
     }
 
-    fn devdir_entries(&self) -> Vec<(LineAddr, DevState)> {
-        self.devdir.entries_snapshot()
-    }
-
     /// The full inline invariant sweep: [`Self::check_consistency`] plus
     /// SWMR, L1⊆LLC inclusion, reverse directory agreement, and
     /// remap-table ↔ in-memory-bit ↔ migration-state consistency. All
@@ -415,7 +419,7 @@ impl System {
             return Ok(());
         }
         // line -> (exclusive holders, total holders, an exclusive host).
-        let mut holders: HashMap<LineAddr, (usize, usize, usize)> = HashMap::new();
+        let mut holders: FxHashMap<LineAddr, (usize, usize, usize)> = FxHashMap::default();
         for (hi, host) in self.hosts.iter().enumerate() {
             for (line, meta) in host.llc.iter() {
                 if !line.is_shared(&self.cfg) {
@@ -450,7 +454,6 @@ impl System {
         if matches!(self.kind, SchemeKind::LocalOnly) {
             return Ok(());
         }
-        let dev: HashMap<LineAddr, DevState> = self.devdir_entries().into_iter().collect();
         for (hi, host) in self.hosts.iter().enumerate() {
             let h = HostId::new(hi);
             for (line, meta) in host.llc.iter() {
@@ -458,13 +461,13 @@ impl System {
                     continue;
                 }
                 if self.kind.uses_kernel_migration()
-                    && self.page_location.get(&line.page()) == Some(&h)
+                    && self.page_location.get(line.page()) == Some(&h)
                 {
                     continue;
                 }
-                match (meta.state, dev.get(line)) {
+                match (meta.state, self.devdir.peek(*line)) {
                     (LState::S, Some(DevState::Shared(set))) if set.contains(h) => {}
-                    (LState::E | LState::M, Some(DevState::Modified(o))) if *o == h => {}
+                    (LState::E | LState::M, Some(DevState::Modified(o))) if o == h => {}
                     (st, d) => {
                         return Err(format!(
                             "H{hi}: {line} cached {st:?} but device directory has {d:?}"
@@ -486,8 +489,7 @@ impl System {
         let SchemeState::PipmLike { global, static_map } = &self.scheme else {
             return Ok(());
         };
-        let dev: HashMap<LineAddr, DevState> = self.devdir_entries().into_iter().collect();
-        let mut owners: HashMap<PageNum, usize> = HashMap::new();
+        let mut owners: FxHashMap<PageNum, usize> = FxHashMap::default();
         for (hi, host) in self.hosts.iter().enumerate() {
             for (page, entry) in host.remap.pages() {
                 if let Some(prev) = owners.insert(page, hi) {
@@ -517,7 +519,7 @@ impl System {
                         continue;
                     }
                     let line = page.line(idx);
-                    if let Some(d) = dev.get(&line) {
+                    if let Some(d) = self.devdir.peek(line) {
                         return Err(format!(
                             "H{hi}: in-memory bit set for {line} but device directory has {d:?}"
                         ));
@@ -587,7 +589,6 @@ impl System {
         if !matches!(self.kind, SchemeKind::Native | SchemeKind::Pipm) {
             return Vec::new();
         }
-        let dev: HashMap<LineAddr, DevState> = self.devdir_entries().into_iter().collect();
         let hosts = self.cfg.hosts;
         let mut out = Vec::new();
         for (line, shadow) in oracle.shared_lines() {
@@ -606,7 +607,7 @@ impl System {
                 };
                 st.cache_ver[hi] = shadow.cached[hi].unwrap_or(0);
             }
-            st.dev = dev.get(&line).cloned();
+            st.dev = self.devdir.peek(line);
             if matches!(self.kind, SchemeKind::Pipm) {
                 for (hi, host) in self.hosts.iter().enumerate() {
                     if let Some(e) = host.remap.entry(page) {
@@ -675,18 +676,32 @@ impl System {
         );
         self.warmup_refs =
             (self.cfg.warmup_fraction * (refs_per_core * streams.len() as u64) as f64) as u64;
-        // Min-heap on (clock, core): deterministic global-order advance.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(Cycle, usize)>> = (0..streams.len())
-            .map(|i| std::cmp::Reverse((0, i)))
-            .collect();
-        while let Some(std::cmp::Reverse((_, ci))) = heap.pop() {
+        // Deterministic global-order advance on (clock, core): always step
+        // the core with the lowest clock, ties to the lowest index. A
+        // linear argmin over a dense clock array beats a binary heap here —
+        // core counts are small (tens), the scan is branch-predictable and
+        // allocation-free, and the visit order is identical because
+        // `(clock, core)` is a strict total order either way.
+        let mut clocks: Vec<Cycle> = vec![0; streams.len()];
+        let mut live = streams.len();
+        while live > 0 {
+            let mut ci = 0;
+            let mut best = Cycle::MAX;
+            for (i, &c) in clocks.iter().enumerate() {
+                if c < best {
+                    best = c;
+                    ci = i;
+                }
+            }
             let Some(rec) = streams[ci].next_record() else {
                 let stats = &mut self.stats.cores[ci];
                 self.cores[ci].drain(&mut |class, cycles| stats.record_stall(class, cycles));
+                clocks[ci] = Cycle::MAX;
+                live -= 1;
                 continue;
             };
             self.step_core(ci, rec);
-            heap.push(std::cmp::Reverse((self.cores[ci].clock(), ci)));
+            clocks[ci] = self.cores[ci].clock();
         }
         self.finish()
     }
@@ -705,7 +720,10 @@ impl System {
         // memory-system burst depth like real miss queues do.
         let hi = ci / self.cfg.cores_per_host;
         let li = ci % self.cfg.cores_per_host;
-        let l1_hit = self.hosts[hi].l1[li].peek(rec.addr.line()).is_some();
+        // The one L1 probe for this reference: LRU recency and hit/miss
+        // statistics update here; `mem_access` receives the result instead
+        // of probing again.
+        let l1_hit = self.hosts[hi].l1[li].lookup(rec.addr.line()).is_some();
         {
             let stats = &mut self.stats.cores[ci];
             let core = &mut self.cores[ci];
@@ -717,14 +735,15 @@ impl System {
             });
         }
         let now = self.cores[ci].clock();
-        let (done, class, queued_mig) = self.mem_access(ci, rec.addr, rec.is_write, now);
+        let (done, class, queued_mig) = self.mem_access(ci, rec.addr, rec.is_write, l1_hit, now);
         let latency = done - now;
         self.cores[ci].issue(done, class, rec.is_write);
         let stats = &mut self.stats.cores[ci];
         stats.record_access(class, latency);
         stats.transfer_stall += queued_mig;
-        stats.instructions = self.cores[ci].instructions() - self.warmup_instr[ci];
-        stats.cycles = self.cores[ci].clock().saturating_sub(self.warmup_clock[ci]);
+        // `instructions`/`cycles` are derived from the core model at
+        // finish() (and at the warmup boundary) rather than rewritten on
+        // every reference.
     }
 
     fn maybe_warmup(&mut self) {
@@ -740,6 +759,7 @@ impl System {
 
     fn finish(&mut self) -> SystemStats {
         for (i, c) in self.cores.iter().enumerate() {
+            self.stats.cores[i].instructions = c.instructions() - self.warmup_instr[i];
             self.stats.cores[i].cycles = c.clock().saturating_sub(self.warmup_clock[i]);
         }
         // Footprint peaks.
@@ -785,16 +805,20 @@ impl System {
         ci: usize,
         addr: Addr,
         is_write: bool,
+        l1_hit: bool,
         now: Cycle,
     ) -> (Cycle, AccessClass, Cycle) {
         let hi = ci / self.cfg.cores_per_host;
         let li = ci % self.cfg.cores_per_host;
         let line = addr.line();
 
-        // L1 lookup.
-        if let Some(meta) = self.hosts[hi].l1[li].lookup(line) {
+        // L1 hit (the probe itself — recency + statistics — happened in
+        // `step_core`; reads re-probe nothing on this path).
+        if l1_hit {
             if is_write {
-                meta.dirty = true;
+                if let Some(meta) = self.hosts[hi].l1[li].peek_mut(line) {
+                    meta.dirty = true;
+                }
                 // Write propagates to the LLC state machine: S lines need
                 // an upgrade even on an L1 hit.
                 let needs_upgrade = matches!(
@@ -1169,7 +1193,7 @@ impl System {
     ) -> (Cycle, AccessClass, Cycle) {
         let host = HostId::new(hi);
         let page = line.page();
-        let resident = self.page_location.get(&page).copied();
+        let resident = self.page_location.get(page).copied();
         k.policy.record_access(host, page, is_write, resident);
         match resident {
             Some(owner) if owner == host => {
@@ -1565,7 +1589,7 @@ impl System {
                 self.native_evict(hi, vline, vmeta, now);
             }
             k if k.uses_kernel_migration() => {
-                let resident = self.page_location.get(&vline.page()).copied();
+                let resident = self.page_location.get(vline.page()).copied();
                 if resident == Some(host) {
                     if let Some(o) = self.oracle.as_mut() {
                         o.evict_to_local(hi, vline);
@@ -1706,9 +1730,15 @@ impl System {
     /// Fires interval processing for kernel schemes when the global clock
     /// crosses the next boundary.
     fn maybe_interval(&mut self, now: Cycle) {
-        let SchemeState::Kernel(_) = &self.scheme else {
+        // Fast path: nothing to do this reference. Checked before the
+        // scheme swap below — moving the whole `SchemeState` in and out
+        // on every reference is a measurable per-access cost.
+        let SchemeState::Kernel(k) = &self.scheme else {
             return;
         };
+        if now < k.next_interval {
+            return;
+        }
         let mut scheme = std::mem::replace(&mut self.scheme, SchemeState::Native);
         if let SchemeState::Kernel(k) = &mut scheme {
             while now >= k.next_interval {
@@ -1745,21 +1775,23 @@ impl System {
         outcome: pipm_baselines::IntervalOutcome,
         now: Cycle,
     ) {
-        let mut promos_per_host = vec![0u64; self.cfg.hosts];
+        let mut promos_per_host = std::mem::take(&mut self.promo_scratch);
+        promos_per_host.clear();
+        promos_per_host.resize(self.cfg.hosts, 0);
 
         for (page, owner) in &outcome.demotions {
             // The policy's residency view can drift from the page table
             // (e.g. same-interval promote/demote churn); a demotion for a
             // page not actually resident at the claimed owner would bulk-
             // copy unrelated local DRAM over the current CXL image.
-            if self.page_location.get(page) != Some(owner) {
+            if self.page_location.get(*page) != Some(owner) {
                 continue;
             }
             self.demote_kernel_page(k, *page, *owner, now);
         }
 
         for (page, dest) in &outcome.promotions {
-            match self.page_location.get(page).copied() {
+            match self.page_location.get(*page).copied() {
                 Some(cur) if cur == *dest => continue,
                 // Already resident elsewhere: the current owner's local
                 // DRAM holds the only up-to-date copy, so demote it back
@@ -1831,6 +1863,7 @@ impl System {
                 self.stats.cores[ci].mgmt_stall += cost_cfg.shootdown_cycles_per_batch;
             }
         }
+        self.promo_scratch = promos_per_host;
     }
 
     /// Removes all cached lines of `page` from host `hi` (migration
@@ -1859,7 +1892,7 @@ impl System {
         let arr = self.fabric.send(owner, Dir::ToDevice, t, PAGE_SIZE, true);
         self.cxl_dram
             .bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
-        self.page_location.remove(&page);
+        self.page_location.remove(page);
         k.harm.on_demote(page);
         self.hosts[oi].resident_pages = self.hosts[oi].resident_pages.saturating_sub(1);
         self.stats.migration.pages_demoted += 1;

@@ -178,15 +178,22 @@ impl CoreModel {
     pub fn advance_compute(&mut self, nonmem: u32) {
         self.instructions += nonmem as u64;
         let total = self.compute_remainder + nonmem;
-        self.clock += (total / self.width) as Cycle;
-        self.compute_remainder = total % self.width;
+        // Width is almost always a power of two; shift/mask instead of a
+        // per-reference hardware divide on the hot path.
+        if self.width.is_power_of_two() {
+            self.clock += (total >> self.width.trailing_zeros()) as Cycle;
+            self.compute_remainder = total & (self.width - 1);
+        } else {
+            self.clock += (total / self.width) as Cycle;
+            self.compute_remainder = total % self.width;
+        }
         self.retire_completed();
     }
 
     /// Stalls (advancing the clock) until the window can accept one more
     /// memory operation of the given kind. Each stall interval is reported
     /// through `on_stall(class_of_blocking_access, cycles)`.
-    pub fn reserve_slot(&mut self, is_write: bool, on_stall: &mut dyn FnMut(AccessClass, Cycle)) {
+    pub fn reserve_slot<F: FnMut(AccessClass, Cycle)>(&mut self, is_write: bool, on_stall: &mut F) {
         loop {
             self.retire_completed();
             let rob_full = self.window.len() >= self.rob_limit;
@@ -213,7 +220,7 @@ impl CoreModel {
     /// Stalls until fewer than the MSHR limit of cache misses are in
     /// flight. Call before issuing an access known to miss the L1; stall
     /// intervals are reported like [`reserve_slot`](CoreModel::reserve_slot).
-    pub fn reserve_mshr(&mut self, on_stall: &mut dyn FnMut(AccessClass, Cycle)) {
+    pub fn reserve_mshr<F: FnMut(AccessClass, Cycle)>(&mut self, on_stall: &mut F) {
         while self.misses_inflight >= self.mshr_limit {
             let front = *self.window.front().expect("misses imply a window");
             let wait_until = front.complete_at.max(self.clock);
@@ -279,7 +286,7 @@ impl CoreModel {
 
     /// Drains all outstanding operations at end of trace, attributing final
     /// stall cycles through `on_stall`.
-    pub fn drain(&mut self, on_stall: &mut dyn FnMut(AccessClass, Cycle)) {
+    pub fn drain<F: FnMut(AccessClass, Cycle)>(&mut self, on_stall: &mut F) {
         while let Some(front) = self.window.front().copied() {
             let wait_until = front.complete_at.max(self.clock);
             let stall = wait_until - self.clock;

@@ -81,8 +81,48 @@ pub struct Dram {
     t_rp: Cycle,
     t_rc: Cycle,
     burst_cycles: Cycle,
-    row_bytes: u64,
+    ch_div: PowDiv,
+    lpr_div: PowDiv,
+    bank_div: PowDiv,
     stats: DramStats,
+}
+
+/// Divide/modulo by a fixed divisor, reduced to shift/mask when the
+/// divisor is a power of two (the common DRAM geometry) so the per-access
+/// address map avoids three hardware divides.
+#[derive(Clone, Copy, Debug)]
+struct PowDiv {
+    n: u64,
+    shift: u32,
+    mask: u64, // `u64::MAX` sentinel: not a power of two, use `/` and `%`
+}
+
+impl PowDiv {
+    fn new(n: u64) -> Self {
+        assert!(n > 0, "divisor must be nonzero");
+        if n.is_power_of_two() {
+            PowDiv {
+                n,
+                shift: n.trailing_zeros(),
+                mask: n - 1,
+            }
+        } else {
+            PowDiv {
+                n,
+                shift: 0,
+                mask: u64::MAX,
+            }
+        }
+    }
+
+    #[inline]
+    fn divmod(self, x: u64) -> (u64, u64) {
+        if self.mask != u64::MAX {
+            (x >> self.shift, x & self.mask)
+        } else {
+            (x / self.n, x % self.n)
+        }
+    }
 }
 
 impl Dram {
@@ -109,24 +149,23 @@ impl Dram {
             t_rp: cycles_from_ns(cfg.t_rp_ns),
             t_rc: cycles_from_ns(cfg.t_rc_ns),
             burst_cycles: burst_cycles.max(1),
-            row_bytes: cfg.row_bytes,
+            ch_div: PowDiv::new(cfg.channels as u64),
+            lpr_div: PowDiv::new((cfg.row_bytes / LINE_SIZE).max(1)),
+            bank_div: PowDiv::new(cfg.banks_per_channel as u64),
             stats: DramStats::default(),
         }
     }
 
+    #[inline]
     fn map(&self, addr: Addr) -> (usize, usize, u64) {
         // Line-interleave across channels, then banks, then rows: adjacent
         // lines spread across channels for bandwidth, matching common
         // controller address mappings.
         let line = addr.raw() / LINE_SIZE;
-        let ch = (line % self.channels.len() as u64) as usize;
-        let per_ch_line = line / self.channels.len() as u64;
-        let banks = self.channels[ch].banks.len() as u64;
-        let lines_per_row = self.row_bytes / LINE_SIZE;
-        let row_global = per_ch_line / lines_per_row;
-        let bank = (row_global % banks) as usize;
-        let row = row_global / banks;
-        (ch, bank, row)
+        let (per_ch_line, ch) = self.ch_div.divmod(line);
+        let (row_global, _) = self.lpr_div.divmod(per_ch_line);
+        let (row, bank) = self.bank_div.divmod(row_global);
+        (ch as usize, bank as usize, row)
     }
 
     /// Performs a 64-byte access starting no earlier than `now`, returning
@@ -143,7 +182,9 @@ impl Dram {
             self.t_rc,
             self.burst_cycles,
         );
-        let prev = checks::snapshot(&self.channels[ch_idx], bank_idx);
+        // Gated so release builds without `check-invariants` do not even
+        // load the snapshot fields on the per-access hot path.
+        let prev = checks::ENABLED.then(|| checks::snapshot(&self.channels[ch_idx], bank_idx));
         let ch = &mut self.channels[ch_idx];
         let bank = &mut ch.banks[bank_idx];
 
@@ -190,7 +231,9 @@ impl Dram {
         }
         self.stats.bytes += LINE_SIZE;
         let _ = is_write;
-        checks::bank_monotonic(&self.channels[ch_idx], bank_idx, prev, now, done);
+        if let Some(prev) = prev {
+            checks::bank_monotonic(&self.channels[ch_idx], bank_idx, prev, now, done);
+        }
         done
     }
 

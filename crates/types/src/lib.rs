@@ -31,9 +31,11 @@
 
 pub mod addr;
 pub mod config;
+pub mod hash;
 pub mod ids;
 pub mod scheme;
 pub mod stats;
+pub mod table;
 pub mod time;
 
 pub use addr::{Addr, LineAddr, PageNum, LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
@@ -41,7 +43,9 @@ pub use config::{
     CacheConfig, CoreConfig, CxlConfig, DirectoryConfig, DramConfig, MigrationCostConfig,
     PipmConfig, SystemConfig,
 };
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CoreId, HostId, HostSet};
 pub use scheme::SchemeKind;
 pub use stats::{AccessClass, CoreStats, MigrationStats, Percentiles, SystemStats};
+pub use table::{PageTable, MAX_DENSE_PAGES};
 pub use time::{cycles_from_ns, ns_from_cycles, Cycle, CPU_GHZ};

@@ -1,0 +1,224 @@
+//! A dense, directly-indexed page table.
+//!
+//! The shared CXL-DSM footprint is a contiguous page range starting at
+//! page zero ([`crate::Addr`] layout), so per-page state needs no hash
+//! map at all: a `Vec<Option<T>>` indexed by `PageNum::raw()` turns
+//! every lookup on the simulator's per-access hot path into one bounds
+//! check and one load. [`PageTable`] wraps that with a map-like API so
+//! `HashMap<PageNum, T>` call sites swap over mechanically, and keeps a
+//! live-entry count so `len()` stays O(1).
+//!
+//! Iteration is in ascending page order — *more* deterministic than the
+//! hash maps this replaces, which is what the stats-parity and
+//! determinism tests demand.
+
+use crate::addr::PageNum;
+
+/// Hard ceiling on directly-indexable page numbers. Shared footprints
+/// are at most a few million pages; private pages start at `2^34`
+/// ([`crate::Addr::PRIVATE_BASE`] / page size) and must never be fed to
+/// a dense table — the bound turns that bug into a panic instead of a
+/// multi-gigabyte allocation.
+pub const MAX_DENSE_PAGES: u64 = 1 << 28;
+
+/// A dense page-indexed map from [`PageNum`] to `T`.
+///
+/// Grows automatically on [`insert`](PageTable::insert); lookups outside
+/// the grown range simply return `None`, so callers never pre-size it.
+#[derive(Clone, Debug, Default)]
+pub struct PageTable<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> PageTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PageTable {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Creates an empty table pre-sized for pages `0..pages`.
+    pub fn with_capacity(pages: usize) -> Self {
+        PageTable {
+            slots: Vec::with_capacity(pages),
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn index(page: PageNum) -> usize {
+        let raw = page.raw();
+        assert!(
+            raw < MAX_DENSE_PAGES,
+            "page {page} is outside the dense shared range (private page in a PageTable?)"
+        );
+        raw as usize
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no live entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Returns the entry for `page`, if present.
+    #[inline]
+    pub fn get(&self, page: PageNum) -> Option<&T> {
+        self.slots.get(page.raw() as usize)?.as_ref()
+    }
+
+    /// Returns the entry for `page` mutably, if present.
+    #[inline]
+    pub fn get_mut(&mut self, page: PageNum) -> Option<&mut T> {
+        self.slots.get_mut(page.raw() as usize)?.as_mut()
+    }
+
+    /// Whether `page` has an entry.
+    #[inline]
+    pub fn contains(&self, page: PageNum) -> bool {
+        self.get(page).is_some()
+    }
+
+    /// Inserts `value` for `page`, returning the previous entry if any.
+    /// Grows the table to cover `page`.
+    #[inline]
+    pub fn insert(&mut self, page: PageNum, value: T) -> Option<T> {
+        let i = Self::index(page);
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let old = self.slots[i].replace(value);
+        if old.is_none() {
+            self.live += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the entry for `page`, if present.
+    #[inline]
+    pub fn remove(&mut self, page: PageNum) -> Option<T> {
+        let old = self.slots.get_mut(page.raw() as usize)?.take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Returns the entry for `page`, inserting `make()` first if absent.
+    /// The dense analogue of `HashMap::entry(..).or_insert_with(..)`.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, page: PageNum, make: impl FnOnce() -> T) -> &mut T {
+        let i = Self::index(page);
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.slots[i];
+        if slot.is_none() {
+            *slot = Some(make());
+            self.live += 1;
+        }
+        slot.as_mut().expect("slot just filled")
+    }
+
+    /// Iterates live entries in ascending page order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNum, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (PageNum::new(i as u64), v)))
+    }
+
+    /// Iterates live entries mutably in ascending page order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (PageNum, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (PageNum::new(i as u64), v)))
+    }
+
+    /// Iterates live page numbers in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = PageNum> + '_ {
+        self.iter().map(|(p, _)| p)
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t: PageTable<u32> = PageTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(PageNum::new(3)), None);
+        assert_eq!(t.insert(PageNum::new(3), 30), None);
+        assert_eq!(t.insert(PageNum::new(3), 33), Some(30));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(PageNum::new(3)), Some(&33));
+        assert_eq!(t.remove(PageNum::new(3)), Some(33));
+        assert_eq!(t.remove(PageNum::new(3)), None);
+        assert!(t.is_empty());
+        // Removing beyond the grown range is a no-op, not a panic.
+        assert_eq!(t.remove(PageNum::new(1 << 20)), None);
+    }
+
+    #[test]
+    fn get_or_insert_with() {
+        let mut t: PageTable<Vec<u8>> = PageTable::new();
+        t.get_or_insert_with(PageNum::new(5), Vec::new).push(1);
+        t.get_or_insert_with(PageNum::new(5), Vec::new).push(2);
+        assert_eq!(t.get(PageNum::new(5)), Some(&vec![1, 2]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_page_ordered() {
+        let mut t: PageTable<u32> = PageTable::new();
+        for p in [9u64, 2, 7, 0] {
+            t.insert(PageNum::new(p), p as u32);
+        }
+        let pages: Vec<u64> = t.keys().map(PageNum::raw).collect();
+        assert_eq!(pages, vec![0, 2, 7, 9]);
+        for (_, v) in t.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(t.get(PageNum::new(9)), Some(&10));
+    }
+
+    #[test]
+    fn clear_keeps_len_consistent() {
+        let mut t: PageTable<u8> = PageTable::new();
+        t.insert(PageNum::new(1), 1);
+        t.insert(PageNum::new(4), 4);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        t.insert(PageNum::new(4), 5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense shared range")]
+    fn private_page_insert_panics() {
+        let mut t: PageTable<u8> = PageTable::new();
+        // A private page (raw = 2^34) must never grow a dense table.
+        t.insert(PageNum::new(1 << 34), 0);
+    }
+}

@@ -11,10 +11,12 @@ use rand::Rng;
 #[derive(Clone, Debug)]
 pub struct Zipfian {
     n: u64,
-    theta: f64,
     alpha: f64,
     zetan: f64,
     eta: f64,
+    /// `0.5^theta`, hoisted out of [`Self::sample`] (one `powf` per draw
+    /// otherwise — a measurable cost in the trace generators).
+    half_pow_theta: f64,
 }
 
 impl Zipfian {
@@ -27,17 +29,36 @@ impl Zipfian {
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipf domain must be nonempty");
         assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta in (0,1)");
-        let zetan = Self::zeta(n, theta);
+        let zetan = Self::zetan_cached(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
         Zipfian {
             n,
-            theta,
             alpha,
             zetan,
             eta,
+            half_pow_theta: 0.5f64.powf(theta),
         }
+    }
+
+    /// Memoized [`Self::zeta`]. The harmonic sum costs up to 2^20 `powf`
+    /// calls, and every per-core stream of a database workload constructs a
+    /// sampler with the same `(n, theta)` — recomputing it dominated short
+    /// simulations. The cache returns bit-identical values, so sampling is
+    /// unaffected. A racing double-compute stores the same value twice.
+    fn zetan_cached(n: u64, theta: f64) -> f64 {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<(u64, u64), f64>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (n, theta.to_bits());
+        if let Some(&z) = cache.lock().unwrap().get(&key) {
+            return z;
+        }
+        let z = Self::zeta(n, theta);
+        cache.lock().unwrap().insert(key, z);
+        z
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -69,7 +90,7 @@ impl Zipfian {
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
+        if uz < 1.0 + self.half_pow_theta {
             return 1;
         }
         let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
