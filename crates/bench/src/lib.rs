@@ -9,11 +9,15 @@
 //!
 //! Simulation points fan out across worker threads: every figure first
 //! [`Harness::prefetch`]es its full `(workload, scheme, variant)` run
-//! set, which [`Harness::measure_many`] executes in parallel under a
-//! thread-safe run cache with in-flight deduplication (two figures never
-//! simulate the same point twice, even concurrently). Each `System` is
-//! fully self-contained, so parallel results are bit-identical to serial
-//! ones (`tests/determinism.rs` asserts this).
+//! set, which [`Harness::measure_many`] executes in parallel under the
+//! shared [`pipm_core::RunCache`] with in-flight deduplication (two
+//! figures never simulate the same point twice, even concurrently).
+//! Points are keyed by the canonical [`pipm_core::job_key`] content
+//! address of `(workload, scheme, cfg, params)` — the same fingerprint
+//! the `pipm-serve` daemon uses, so any consumer of the simulator
+//! addresses identical runs identically. Each `System` is fully
+//! self-contained, so parallel results are bit-identical to serial ones
+//! (`tests/determinism.rs` asserts this).
 //!
 //! Scale knobs (environment variables):
 //!
@@ -33,14 +37,13 @@
 
 pub mod figs;
 
-use pipm_core::{run_one, RunResult};
+use pipm_core::{job_key, run_one, RunCache, RunResult};
 use pipm_types::{AccessClass, SchemeKind, SystemConfig};
 use pipm_workloads::{Workload, WorkloadParams};
-use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Everything the figures need from one simulation run, in a flat,
@@ -223,21 +226,17 @@ impl RunSpec {
     }
 }
 
-/// A run-cache slot: either a finished measurement or a claim by the
-/// worker currently simulating the point.
-enum Slot {
-    InFlight,
-    Done(Measurement),
-}
-
 /// Monotonic observability counters, readable as a snapshot to compute
 /// per-figure deltas.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HarnessCounters {
-    /// Simulations actually executed.
+    /// Simulations actually executed (run-cache misses).
     pub runs: u64,
     /// Run-cache hits (memory or preloaded from disk).
     pub cache_hits: u64,
+    /// Run-cache lookups that found the point already being simulated by
+    /// another worker and waited for it instead of recomputing.
+    pub cache_inflight_dedup: u64,
     /// Simulated cycles accumulated by executed runs.
     pub sim_cycles: u64,
     /// Wall nanoseconds spent inside executed runs (summed across
@@ -251,6 +250,7 @@ impl HarnessCounters {
         HarnessCounters {
             runs: self.runs - earlier.runs,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_inflight_dedup: self.cache_inflight_dedup - earlier.cache_inflight_dedup,
             sim_cycles: self.sim_cycles - earlier.sim_cycles,
             run_wall_nanos: self.run_wall_nanos - earlier.run_wall_nanos,
         }
@@ -277,12 +277,9 @@ pub struct Harness {
     pub seed: u64,
     workers: usize,
     quiet: bool,
-    cache: Mutex<HashMap<String, Slot>>,
-    /// Signalled whenever an in-flight run completes (or is abandoned).
-    run_done: Condvar,
+    cache: RunCache<Measurement>,
     cache_path: Option<PathBuf>,
     runs: AtomicU64,
-    cache_hits: AtomicU64,
     sim_cycles: AtomicU64,
     run_wall_nanos: AtomicU64,
     timings: Mutex<Vec<FigureTiming>>,
@@ -359,7 +356,7 @@ impl Harness {
         cache_path: Option<PathBuf>,
         workers: usize,
     ) -> Self {
-        let mut cache = HashMap::new();
+        let cache = RunCache::unbounded();
         if let Some(p) = &cache_path {
             if let Ok(text) = std::fs::read_to_string(p) {
                 for line in text.lines() {
@@ -367,7 +364,7 @@ impl Harness {
                     if let (Some(key), Some(rest)) = (parts.next(), parts.next()) {
                         let fields: Vec<&str> = rest.split('\t').collect();
                         if let Some(m) = Measurement::from_tsv(&fields) {
-                            cache.insert(key.to_string(), Slot::Done(m));
+                            cache.insert(key, m);
                         }
                     }
                 }
@@ -378,11 +375,9 @@ impl Harness {
             seed,
             workers: workers.max(1),
             quiet: true,
-            cache: Mutex::new(cache),
-            run_done: Condvar::new(),
+            cache,
             cache_path,
             runs: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
             run_wall_nanos: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
@@ -405,20 +400,17 @@ impl Harness {
         }
     }
 
-    fn key(&self, workload: Workload, scheme: SchemeKind, variant: &str) -> String {
-        format!(
-            "v6|{}|{}|{}|{}|{}",
-            workload, scheme, self.refs_per_core, self.seed, variant
-        )
-    }
-
     /// Runs (or retrieves from cache) `workload` under `scheme` with the
     /// experiment-scale configuration modified by `cfg_mod`. `variant`
-    /// must uniquely name the configuration deviation ("" for default).
+    /// names the configuration deviation for display ("" for default);
+    /// the cache key is the canonical [`pipm_core::job_key`] content
+    /// address over the *modified* configuration, so two figures can
+    /// never alias distinct configurations (and identical points always
+    /// share one run, whatever they are called).
     ///
     /// Thread-safe: concurrent calls for the same point deduplicate —
     /// one caller simulates, the others block until the result lands in
-    /// the cache.
+    /// the cache (see [`pipm_core::RunCache`]).
     pub fn measure(
         &self,
         workload: Workload,
@@ -426,63 +418,33 @@ impl Harness {
         variant: &str,
         cfg_mod: impl FnOnce(&mut SystemConfig),
     ) -> Measurement {
-        let key = self.key(workload, scheme, variant);
-        {
-            let mut cache = self.cache.lock().expect("run cache poisoned");
-            loop {
-                match cache.get(&key) {
-                    Some(Slot::Done(m)) => {
-                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        return m.clone();
-                    }
-                    Some(Slot::InFlight) => {
-                        cache = self.run_done.wait(cache).expect("run cache poisoned");
-                    }
-                    None => {
-                        cache.insert(key.clone(), Slot::InFlight);
-                        break;
-                    }
-                }
-            }
-        }
-        // This thread owns the point; simulate outside the lock. The
-        // guard releases the claim (and wakes waiters) if the run panics.
-        let guard = InFlightGuard {
-            harness: self,
-            key: &key,
-            done: false,
-        };
         let mut cfg = SystemConfig::experiment_scale();
         cfg_mod(&mut cfg);
         let params = WorkloadParams {
             refs_per_core: self.refs_per_core,
             seed: self.seed,
         };
-        let started = Instant::now();
-        let run = run_one(workload, scheme, cfg, &params);
-        let wall = started.elapsed();
-        let m = Measurement::from_run(&run);
-        self.record_run(workload, scheme, variant, &m, wall);
-        {
-            let mut cache = self.cache.lock().expect("run cache poisoned");
-            cache.insert(key.clone(), Slot::Done(m.clone()));
-        }
-        let mut guard = guard;
-        guard.done = true;
-        drop(guard); // notifies waiters
-        if let Some(p) = &self.cache_path {
-            if let Some(dir) = p.parent() {
-                let _ = std::fs::create_dir_all(dir);
+        let key = job_key(workload, scheme, &cfg, &params);
+        self.cache.get_or_compute(&key, || {
+            let started = Instant::now();
+            let run = run_one(workload, scheme, cfg.clone(), &params);
+            let wall = started.elapsed();
+            let m = Measurement::from_run(&run);
+            self.record_run(workload, scheme, variant, &m, wall);
+            if let Some(p) = &self.cache_path {
+                if let Some(dir) = p.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                {
+                    let _ = writeln!(f, "{key}\t{}", m.to_tsv());
+                }
             }
-            if let Ok(mut f) = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(p)
-            {
-                let _ = writeln!(f, "{key}\t{}", m.to_tsv());
-            }
-        }
-        m
+            m
+        })
     }
 
     /// Default-configuration measurement (the Fig. 10–13 matrix).
@@ -563,9 +525,11 @@ impl Harness {
 
     /// Snapshot of the observability counters.
     pub fn counters(&self) -> HarnessCounters {
+        let cache = self.cache.stats();
         HarnessCounters {
             runs: self.runs.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_inflight_dedup: cache.inflight_waits,
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
             run_wall_nanos: self.run_wall_nanos.load(Ordering::Relaxed),
         }
@@ -610,27 +574,15 @@ impl Harness {
             c.sim_cycles as f64 / 1e6,
             self.workers,
         );
-    }
-}
-
-/// Releases an in-flight claim if the owning run panics, so waiting
-/// threads retry instead of blocking forever.
-struct InFlightGuard<'a> {
-    harness: &'a Harness,
-    key: &'a str,
-    done: bool,
-}
-
-impl Drop for InFlightGuard<'_> {
-    fn drop(&mut self) {
-        if !self.done {
-            if let Ok(mut cache) = self.harness.cache.lock() {
-                if matches!(cache.get(self.key), Some(Slot::InFlight)) {
-                    cache.remove(self.key);
-                }
-            }
-        }
-        self.harness.run_done.notify_all();
+        let s = self.cache.stats();
+        eprintln!(
+            "[timing] run-cache    hits={} misses={} inflight_dedup={} preloaded={} entries={}",
+            s.hits,
+            s.misses,
+            s.inflight_waits,
+            s.preloads,
+            self.cache.len(),
+        );
     }
 }
 

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod harm;
 pub mod hints;
 mod oracle;
@@ -47,6 +48,7 @@ pub mod remap;
 mod runner;
 mod system;
 
+pub use cache::{fingerprint64, job_fingerprint, job_key, RunCache, RunCacheStats};
 pub use harm::HarmTracker;
 pub use hints::MigrationHints;
 pub use oracle::OracleViolation;

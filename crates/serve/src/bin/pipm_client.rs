@@ -1,0 +1,263 @@
+//! `pipm-client` — submit jobs to a `pipm-serve` daemon, inspect it, or
+//! drive it as a closed-loop load generator.
+//!
+//! ```text
+//! pipm-client [--addr HOST:PORT] status
+//! pipm-client [--addr HOST:PORT] metrics
+//! pipm-client [--addr HOST:PORT] shutdown
+//! pipm-client [--addr HOST:PORT] submit --workload bfs --scheme pipm \
+//!             [--workload ... --scheme ...] [--refs N] [--seed N]
+//! pipm-client [--addr HOST:PORT] load --workload bfs --scheme pipm \
+//!             [--refs N] [--seed N] --clients N --rounds M
+//! ```
+//!
+//! `submit` pretty-prints one row per result; `load` reports throughput,
+//! latency quantiles, and the daemon's cache counters after the run.
+
+use pipm_serve::client::{load_generate, Client};
+use pipm_serve::json::Json;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    cmd: String,
+    workloads: Vec<String>,
+    schemes: Vec<String>,
+    refs: Option<u64>,
+    seed: Option<u64>,
+    clients: usize,
+    rounds: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pipm-client [--addr HOST:PORT] <status|metrics|shutdown|submit|load>\n\
+         \x20  submit/load: --workload W --scheme S (repeatable, zipped pairwise)\n\
+         \x20               [--refs N] [--seed N]\n\
+         \x20  load only:   [--clients N] [--rounds M]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        addr: "127.0.0.1:7457".to_string(),
+        cmd: String::new(),
+        workloads: Vec::new(),
+        schemes: Vec::new(),
+        refs: None,
+        seed: None,
+        clients: 4,
+        rounds: 8,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => parsed.addr = value("--addr"),
+            "--workload" => parsed.workloads.push(value("--workload")),
+            "--scheme" => parsed.schemes.push(value("--scheme")),
+            "--refs" => parsed.refs = Some(parse_num(&value("--refs"), "--refs")),
+            "--seed" => parsed.seed = Some(parse_num(&value("--seed"), "--seed")),
+            "--clients" => parsed.clients = parse_num(&value("--clients"), "--clients"),
+            "--rounds" => parsed.rounds = parse_num(&value("--rounds"), "--rounds"),
+            "--help" | "-h" => usage(),
+            cmd if parsed.cmd.is_empty() && !cmd.starts_with('-') => parsed.cmd = cmd.to_string(),
+            other => {
+                eprintln!("error: unexpected argument `{other}`");
+                usage()
+            }
+        }
+    }
+    if parsed.cmd.is_empty() {
+        usage()
+    }
+    parsed
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: {name} expects a number, got `{raw}`");
+        usage()
+    })
+}
+
+/// Builds the `submit` line from `--workload/--scheme` pairs (zipped;
+/// a single scheme fans out across all workloads and vice versa).
+fn submit_line(args: &Args) -> String {
+    if args.workloads.is_empty() || args.schemes.is_empty() {
+        eprintln!("error: submit/load need at least one --workload and one --scheme");
+        usage()
+    }
+    let pairs: Vec<(String, String)> = if args.schemes.len() == 1 {
+        args.workloads
+            .iter()
+            .map(|w| (w.clone(), args.schemes[0].clone()))
+            .collect()
+    } else if args.workloads.len() == 1 {
+        args.schemes
+            .iter()
+            .map(|s| (args.workloads[0].clone(), s.clone()))
+            .collect()
+    } else if args.workloads.len() == args.schemes.len() {
+        args.workloads
+            .iter()
+            .cloned()
+            .zip(args.schemes.iter().cloned())
+            .collect()
+    } else {
+        eprintln!("error: --workload/--scheme counts must match (or one side be single)");
+        usage()
+    };
+    let jobs: Vec<Json> = pairs
+        .into_iter()
+        .map(|(w, s)| {
+            let mut fields = vec![
+                ("workload".to_string(), Json::Str(w)),
+                ("scheme".to_string(), Json::Str(s)),
+            ];
+            if let Some(r) = args.refs {
+                fields.push(("refs_per_core".to_string(), Json::UInt(r)));
+            }
+            if let Some(seed) = args.seed {
+                fields.push(("seed".to_string(), Json::UInt(seed)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("submit".to_string())),
+        ("jobs".to_string(), Json::Arr(jobs)),
+    ])
+    .encode()
+}
+
+fn print_results(response: &Json) {
+    let Some(results) = response.get("results").and_then(Json::as_arr) else {
+        println!("{}", response.encode());
+        return;
+    };
+    println!(
+        "{:<14} {:>12} {:>14} {:>8} {:>10} {:>16}",
+        "workload/scheme", "exec_cycles", "ipc", "lhr", "promoted", "fingerprint"
+    );
+    for r in results {
+        let s = |k: &str| r.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let u = |k: &str| r.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let f = |k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "{:<14} {:>12} {:>14.4} {:>8.4} {:>10} {:>16}",
+            format!("{}/{}", s("workload"), s("scheme")),
+            u("exec_cycles"),
+            f("ipc"),
+            f("local_hit_rate"),
+            u("pages_promoted"),
+            s("fingerprint"),
+        );
+    }
+}
+
+fn print_metrics(addr: &str) -> std::io::Result<()> {
+    let mut client = Client::connect(addr)?;
+    let m = client.request_json(r#"{"cmd":"metrics"}"#)?;
+    let u = |k: &str| m.get(k).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "cache: hits={} misses={} inflight_dedup={} entries={} evictions={}",
+        u("cache_hits"),
+        u("cache_misses"),
+        u("cache_inflight_dedup"),
+        u("cache_entries"),
+        u("cache_evictions"),
+    );
+    println!(
+        "queue: depth={}/{}  jobs: admitted={} completed={} failed={}",
+        u("queue_depth"),
+        u("queue_capacity"),
+        u("jobs_admitted"),
+        u("jobs_completed"),
+        u("jobs_failed"),
+    );
+    println!(
+        "admission: rejected_overloaded={} rejected_invalid={}  uptime_ms={}",
+        u("rejected_overloaded"),
+        u("rejected_invalid"),
+        u("uptime_ms"),
+    );
+    Ok(())
+}
+
+fn run() -> std::io::Result<bool> {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "status" | "shutdown" => {
+            let mut client = Client::connect(&args.addr)?;
+            let line = format!(r#"{{"cmd":"{}"}}"#, args.cmd);
+            let response = client.request_json(&line)?;
+            println!("{}", response.encode());
+            Ok(response.get("ok").and_then(Json::as_bool) == Some(true))
+        }
+        "metrics" => {
+            print_metrics(&args.addr)?;
+            Ok(true)
+        }
+        "submit" => {
+            let line = submit_line(&args);
+            let mut client = Client::connect(&args.addr)?;
+            let start = Instant::now();
+            let response = client.request_json(&line)?;
+            let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+            if ok {
+                print_results(&response);
+                println!("({} ms)", start.elapsed().as_millis());
+            } else {
+                eprintln!("error response: {}", response.encode());
+            }
+            Ok(ok)
+        }
+        "load" => {
+            let line = submit_line(&args);
+            let start = Instant::now();
+            let report = load_generate(&args.addr, &line, args.clients, args.rounds);
+            let elapsed = start.elapsed();
+            let total = report.ok_rounds + report.error_rounds + report.io_errors;
+            println!(
+                "load: {} clients x {} rounds -> {} ok, {} rejected, {} io errors in {} ms",
+                args.clients,
+                args.rounds,
+                report.ok_rounds,
+                report.error_rounds,
+                report.io_errors,
+                elapsed.as_millis(),
+            );
+            println!(
+                "latency: p50={} ms p90={} ms p99={} ms",
+                report.latency_quantile(0.50).as_millis(),
+                report.latency_quantile(0.90).as_millis(),
+                report.latency_quantile(0.99).as_millis(),
+            );
+            print_metrics(&args.addr)?;
+            Ok(total > 0 && report.ok_rounds == total)
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            usage()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! `pipm-serve` — the simulation daemon.
+//!
+//! ```text
+//! pipm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!            [--cache-capacity N] [--max-batch-jobs N]
+//!            [--max-refs-per-core N] [--read-timeout-secs N]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (scripts wait for that
+//! line), serves until a `shutdown` request, then drains and exits 0.
+
+use pipm_serve::server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pipm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+         \x20                 [--cache-capacity N] [--max-batch-jobs N]\n\
+         \x20                 [--max-refs-per-core N] [--read-timeout-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7457".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue-capacity" => {
+                cfg.queue_capacity = parse_num(&value("--queue-capacity"), "--queue-capacity")
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity = parse_num(&value("--cache-capacity"), "--cache-capacity")
+            }
+            "--max-batch-jobs" => {
+                cfg.limits.max_batch_jobs =
+                    parse_num(&value("--max-batch-jobs"), "--max-batch-jobs")
+            }
+            "--max-refs-per-core" => {
+                cfg.limits.max_refs_per_core =
+                    parse_num::<u64>(&value("--max-refs-per-core"), "--max-refs-per-core")
+            }
+            "--read-timeout-secs" => {
+                cfg.read_timeout = Duration::from_secs(parse_num::<u64>(
+                    &value("--read-timeout-secs"),
+                    "--read-timeout-secs",
+                ))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    cfg
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: {name} expects a number, got `{raw}`");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: no local addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("drained; goodbye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Line-oriented client and closed-loop load generator.
+//!
+//! [`Client`] is the thin request/response primitive (one line out, one
+//! line back); [`load_generate`] drives N concurrent clients for M
+//! rounds each against a daemon and aggregates latency and error
+//! counts, which is how the CI smoke job observes warm-cache behaviour.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One protocol connection to a `pipm-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7457`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and socket-option failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or an unexpectedly closed connection.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// `request` plus JSON parsing of the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a response that is not valid JSON.
+    pub fn request_json(&mut self, line: &str) -> std::io::Result<Json> {
+        let raw = self.request(line)?;
+        crate::json::parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response JSON: {e} (raw: {raw})"),
+            )
+        })
+    }
+}
+
+/// Aggregate outcome of a [`load_generate`] run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Rounds that returned `{"ok":true}`.
+    pub ok_rounds: u64,
+    /// Rounds rejected with a structured error (e.g. `overloaded`).
+    pub error_rounds: u64,
+    /// Rounds that failed at the transport level.
+    pub io_errors: u64,
+    /// Per-round latencies, unordered.
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadReport {
+    /// Latency at `q` in [0,1] (nearest-rank on the sorted samples).
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    fn merge(&mut self, other: LoadReport) {
+        self.ok_rounds += other.ok_rounds;
+        self.error_rounds += other.error_rounds;
+        self.io_errors += other.io_errors;
+        self.latencies.extend(other.latencies);
+    }
+}
+
+/// Drives `clients` concurrent connections, each submitting the same
+/// request line `rounds` times in a closed loop (next round starts when
+/// the previous response arrives). Identical submissions exercise the
+/// daemon's run cache: the first completions are misses or in-flight
+/// waits, the rest are hits.
+pub fn load_generate(addr: &str, request_line: &str, clients: usize, rounds: usize) -> LoadReport {
+    let handles: Vec<_> = (0..clients.max(1))
+        .map(|_| {
+            let addr = addr.to_string();
+            let line = request_line.to_string();
+            thread::spawn(move || {
+                let mut report = LoadReport::default();
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        report.io_errors += rounds as u64;
+                        return report;
+                    }
+                };
+                for _ in 0..rounds {
+                    let start = Instant::now();
+                    match client.request_json(&line) {
+                        Ok(json) => {
+                            report.latencies.push(start.elapsed());
+                            if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                                report.ok_rounds += 1;
+                            } else {
+                                report.error_rounds += 1;
+                            }
+                        }
+                        Err(_) => {
+                            report.io_errors += 1;
+                            // The daemon drops a connection after some
+                            // rejections (oversized lines); reconnect.
+                            match Client::connect(&addr) {
+                                Ok(c) => client = c,
+                                Err(_) => {
+                                    report.io_errors += rounds as u64;
+                                    return report;
+                                }
+                            }
+                        }
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+    let mut total = LoadReport::default();
+    for h in handles {
+        if let Ok(r) = h.join() {
+            total.merge(r);
+        }
+    }
+    total
+}

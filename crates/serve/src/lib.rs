@@ -1,0 +1,32 @@
+//! Simulation-as-a-service for the PIPM simulator.
+//!
+//! `pipm-serve` wraps the deterministic [`run_one`](pipm_core::run_one)
+//! simulation in a long-running TCP daemon speaking a newline-delimited
+//! JSON protocol ([`proto`]), backed by a shared content-addressed
+//! [`RunCache`](pipm_core::RunCache):
+//!
+//! - **Daemon** ([`server::Server`]): accepts `submit` batches, `status`,
+//!   `metrics`, and `shutdown` requests over loopback TCP. Jobs flow
+//!   through a *bounded admission queue* into a worker pool; when the
+//!   queue is full, batches are rejected with a structured `overloaded`
+//!   error rather than queued unboundedly. Repeated and concurrent
+//!   identical jobs are deduplicated by the run cache, so each unique
+//!   `(workload, scheme, cfg, params)` fingerprint is simulated once.
+//! - **Client** ([`client`]): a thin line-oriented client plus a
+//!   closed-loop load generator used by the `pipm-client` binary and the
+//!   CI smoke test.
+//! - **Robustness**: malformed input, unknown names, over-limit
+//!   requests, and simulator panics all produce structured error
+//!   responses ([`proto::kind`]) and never terminate the daemon; a
+//!   `shutdown` request drains in-flight jobs and exits cleanly.
+//!
+//! The crate is std-only (hand-rolled JSON in [`json`], `std::net`
+//! sockets) so it adds no dependencies to the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;

@@ -1,0 +1,610 @@
+//! The newline-delimited JSON wire protocol and its canonical encodings.
+//!
+//! Requests are single-line JSON objects with a `cmd` field:
+//!
+//! ```json
+//! {"cmd":"submit","jobs":[{"workload":"BFS","scheme":"PIPM",
+//!   "refs_per_core":20000,"seed":20823,"cfg":{"link_latency_ns":100}}]}
+//! {"cmd":"status"}
+//! {"cmd":"metrics"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses are single-line JSON objects with an `ok` field. Failures
+//! are *structured*: `{"ok":false,"error":{"kind":...,"detail":...}}`
+//! with machine-matchable kinds ([`kind`]), and never terminate the
+//! daemon. Successful `submit`s return one result object per job, in
+//! job order, encoded canonically by [`encode_result`] — the same bytes
+//! whether the job was computed, served from the run cache, or encoded
+//! from a direct [`run_one`](pipm_core::run_one) call (the simulator is
+//! deterministic, and field order is fixed).
+
+use crate::json::Json;
+use pipm_core::{fingerprint64, job_key, RunResult};
+use pipm_types::{AccessClass, SchemeKind, SystemConfig};
+use pipm_workloads::{Workload, WorkloadParams};
+
+/// Machine-matchable error kinds carried in `error.kind`.
+pub mod kind {
+    /// Line was not valid JSON or not a protocol object.
+    pub const MALFORMED: &str = "malformed";
+    /// `workload` did not name a known workload.
+    pub const UNKNOWN_WORKLOAD: &str = "unknown_workload";
+    /// `scheme` did not name a known scheme.
+    pub const UNKNOWN_SCHEME: &str = "unknown_scheme";
+    /// A `cfg` override key is not in the supported set.
+    pub const UNKNOWN_CFG_KEY: &str = "unknown_cfg_key";
+    /// A request field or override value is invalid.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// A per-request limit (batch size, refs per core) was exceeded.
+    pub const LIMIT_EXCEEDED: &str = "limit_exceeded";
+    /// The admission queue is full; retry later.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The daemon is draining and accepts no new work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// A job failed inside the simulator (the daemon keeps serving).
+    pub const INTERNAL: &str = "internal";
+}
+
+/// One fully-resolved, validated job: the argument set of a
+/// [`run_one`](pipm_core::run_one) call plus its canonical cache key.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Workload to simulate.
+    pub workload: Workload,
+    /// Scheme to simulate.
+    pub scheme: SchemeKind,
+    /// Configuration (base + overrides), pre-run.
+    pub cfg: SystemConfig,
+    /// Per-run parameters.
+    pub params: WorkloadParams,
+    /// Canonical content address ([`job_key`]).
+    pub key: String,
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Run a batch of jobs (possibly served from cache).
+    Submit(Vec<Job>),
+    /// Liveness / drain-state probe.
+    Status,
+    /// Counter snapshot (cache, queue, admission).
+    Metrics,
+    /// Graceful shutdown: drain queued jobs, then exit 0.
+    Shutdown,
+}
+
+/// Per-request admission limits (the daemon's, or a client's mirror).
+#[derive(Clone, Copy, Debug)]
+pub struct RequestLimits {
+    /// Maximum jobs in one `submit` batch.
+    pub max_batch_jobs: usize,
+    /// Maximum `refs_per_core` per job.
+    pub max_refs_per_core: u64,
+    /// `refs_per_core` when a job omits it.
+    pub default_refs_per_core: u64,
+    /// `seed` when a job omits it (the figure harness's master seed).
+    pub default_seed: u64,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits {
+            max_batch_jobs: 64,
+            max_refs_per_core: 5_000_000,
+            default_refs_per_core: 20_000,
+            default_seed: 0x51_57,
+        }
+    }
+}
+
+/// A structured protocol error: `kind` is machine-matchable, `detail`
+/// human-readable, `extra` carries kind-specific fields (queue depth for
+/// `overloaded`, …).
+#[derive(Clone, Debug)]
+pub struct ProtoError {
+    /// One of the [`kind`] constants.
+    pub kind: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+    /// Kind-specific extra fields appended to the error object.
+    pub extra: Vec<(String, Json)>,
+}
+
+impl ProtoError {
+    /// An error with no extra fields.
+    pub fn new(kind: &'static str, detail: impl Into<String>) -> Self {
+        ProtoError {
+            kind,
+            detail: detail.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Serializes to a single-line `{"ok":false,...}` response.
+    pub fn encode(&self) -> String {
+        let mut error = vec![
+            ("kind".to_string(), Json::Str(self.kind.to_string())),
+            ("detail".to_string(), Json::Str(self.detail.clone())),
+        ];
+        error.extend(self.extra.iter().cloned());
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(false)),
+            ("error".to_string(), Json::Obj(error)),
+        ])
+        .encode()
+    }
+}
+
+/// Parses and validates one request line against `limits`.
+///
+/// # Errors
+///
+/// Returns a structured [`ProtoError`] (`malformed`, `unknown_*`,
+/// `limit_exceeded`, `bad_request`) describing the first problem found;
+/// an erroneous batch is rejected whole.
+pub fn parse_request(line: &str, limits: &RequestLimits) -> Result<Request, ProtoError> {
+    let root = crate::json::parse(line)
+        .map_err(|e| ProtoError::new(kind::MALFORMED, format!("invalid JSON: {e}")))?;
+    if root.as_obj().is_none() {
+        return Err(ProtoError::new(
+            kind::MALFORMED,
+            "request must be a JSON object",
+        ));
+    }
+    let cmd = root
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::new(kind::MALFORMED, "missing string field `cmd`"))?;
+    match cmd {
+        "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        "submit" => {
+            let jobs = root
+                .get("jobs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ProtoError::new(kind::MALFORMED, "submit needs a `jobs` array"))?;
+            if jobs.is_empty() {
+                return Err(ProtoError::new(kind::BAD_REQUEST, "empty job batch"));
+            }
+            if jobs.len() > limits.max_batch_jobs {
+                return Err(ProtoError {
+                    kind: kind::LIMIT_EXCEEDED,
+                    detail: format!(
+                        "batch of {} jobs exceeds the {}-job limit",
+                        jobs.len(),
+                        limits.max_batch_jobs
+                    ),
+                    extra: vec![(
+                        "max_batch_jobs".into(),
+                        Json::UInt(limits.max_batch_jobs as u64),
+                    )],
+                });
+            }
+            jobs.iter()
+                .enumerate()
+                .map(|(i, j)| parse_job(i, j, limits))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::Submit)
+        }
+        other => Err(ProtoError::new(
+            kind::MALFORMED,
+            format!("unknown cmd `{other}`"),
+        )),
+    }
+}
+
+fn parse_job(index: usize, job: &Json, limits: &RequestLimits) -> Result<Job, ProtoError> {
+    if job.as_obj().is_none() {
+        return Err(ProtoError::new(
+            kind::MALFORMED,
+            format!("job #{index} must be an object"),
+        ));
+    }
+    let workload_name = job.get("workload").and_then(Json::as_str).ok_or_else(|| {
+        ProtoError::new(kind::MALFORMED, format!("job #{index}: missing `workload`"))
+    })?;
+    let workload: Workload = workload_name.parse().map_err(|_| {
+        ProtoError::new(
+            kind::UNKNOWN_WORKLOAD,
+            format!("job #{index}: unknown workload `{workload_name}`"),
+        )
+    })?;
+    let scheme_name = job.get("scheme").and_then(Json::as_str).ok_or_else(|| {
+        ProtoError::new(kind::MALFORMED, format!("job #{index}: missing `scheme`"))
+    })?;
+    let scheme: SchemeKind = scheme_name.parse().map_err(|_| {
+        ProtoError::new(
+            kind::UNKNOWN_SCHEME,
+            format!("job #{index}: unknown scheme `{scheme_name}`"),
+        )
+    })?;
+    let refs_per_core = match job.get("refs_per_core") {
+        None => limits.default_refs_per_core,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ProtoError::new(
+                kind::BAD_REQUEST,
+                format!("job #{index}: `refs_per_core` must be a non-negative integer"),
+            )
+        })?,
+    };
+    if refs_per_core == 0 {
+        return Err(ProtoError::new(
+            kind::BAD_REQUEST,
+            format!("job #{index}: `refs_per_core` must be positive"),
+        ));
+    }
+    if refs_per_core > limits.max_refs_per_core {
+        return Err(ProtoError {
+            kind: kind::LIMIT_EXCEEDED,
+            detail: format!(
+                "job #{index}: refs_per_core {} exceeds the limit {}",
+                refs_per_core, limits.max_refs_per_core
+            ),
+            extra: vec![(
+                "max_refs_per_core".into(),
+                Json::UInt(limits.max_refs_per_core),
+            )],
+        });
+    }
+    let seed = match job.get("seed") {
+        None => limits.default_seed,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ProtoError::new(
+                kind::BAD_REQUEST,
+                format!("job #{index}: `seed` must be a non-negative integer"),
+            )
+        })?,
+    };
+    let mut cfg = SystemConfig::experiment_scale();
+    if let Some(overrides) = job.get("cfg") {
+        let fields = overrides.as_obj().ok_or_else(|| {
+            ProtoError::new(
+                kind::BAD_REQUEST,
+                format!("job #{index}: `cfg` must be an object"),
+            )
+        })?;
+        for (key, value) in fields {
+            apply_override(&mut cfg, key, value)
+                .map_err(|e| ProtoError::new(e.kind, format!("job #{index}: {}", e.detail)))?;
+        }
+        cfg.validate().map_err(|e| {
+            ProtoError::new(kind::BAD_REQUEST, format!("job #{index}: invalid cfg: {e}"))
+        })?;
+    }
+    let params = WorkloadParams {
+        refs_per_core,
+        seed,
+    };
+    let key = job_key(workload, scheme, &cfg, &params);
+    Ok(Job {
+        workload,
+        scheme,
+        cfg,
+        params,
+        key,
+    })
+}
+
+/// The `cfg` override keys `submit` accepts, with their targets.
+pub const CFG_KEYS: [&str; 10] = [
+    "hosts",
+    "cores_per_host",
+    "link_latency_ns",
+    "link_gbps",
+    "migration_threshold",
+    "migration_interval_cycles",
+    "local_remap_cache_bytes",
+    "global_remap_cache_bytes",
+    "sector_lines",
+    "local_capacity_bytes",
+];
+
+fn apply_override(cfg: &mut SystemConfig, key: &str, value: &Json) -> Result<(), ProtoError> {
+    let want_u64 = || {
+        value.as_u64().ok_or_else(|| {
+            ProtoError::new(
+                kind::BAD_REQUEST,
+                format!("cfg.{key} must be a non-negative integer"),
+            )
+        })
+    };
+    let want_f64 = || {
+        value
+            .as_f64()
+            .filter(|f| f.is_finite() && *f > 0.0)
+            .ok_or_else(|| {
+                ProtoError::new(
+                    kind::BAD_REQUEST,
+                    format!("cfg.{key} must be a positive number"),
+                )
+            })
+    };
+    // Remap cache geometries must stay power-of-two (the set math in
+    // pipm-core asserts it); reject early with a structured error
+    // instead of letting a worker hit the assertion.
+    let want_pow2 = || {
+        let v = want_u64()?;
+        if v.is_power_of_two() && v >= 1024 {
+            Ok(v)
+        } else {
+            Err(ProtoError::new(
+                kind::BAD_REQUEST,
+                format!("cfg.{key} must be a power of two ≥ 1024, got {v}"),
+            ))
+        }
+    };
+    match key {
+        "hosts" => cfg.hosts = want_u64()? as usize,
+        "cores_per_host" => cfg.cores_per_host = want_u64()? as usize,
+        "link_latency_ns" => cfg.cxl.link_latency_ns = want_f64()?,
+        "link_gbps" => cfg.cxl.link_gbps = want_f64()?,
+        "migration_threshold" => {
+            let v = want_u64()?;
+            if v == 0 || v > u64::from(cfg.pipm.local_counter_max) {
+                return Err(ProtoError::new(
+                    kind::BAD_REQUEST,
+                    format!(
+                        "cfg.migration_threshold must be in 1..={}, got {v}",
+                        cfg.pipm.local_counter_max
+                    ),
+                ));
+            }
+            cfg.pipm.migration_threshold = v as u8;
+        }
+        "migration_interval_cycles" => {
+            let v = want_u64()?;
+            if v == 0 {
+                return Err(ProtoError::new(
+                    kind::BAD_REQUEST,
+                    "cfg.migration_interval_cycles must be positive",
+                ));
+            }
+            cfg.migration_interval_cycles = v;
+        }
+        "local_remap_cache_bytes" => cfg.pipm.local_remap_cache_bytes = want_pow2()?,
+        "global_remap_cache_bytes" => cfg.pipm.global_remap_cache_bytes = want_pow2()?,
+        "sector_lines" => {
+            let v = want_u64()?;
+            if v == 0 || v > 64 {
+                return Err(ProtoError::new(
+                    kind::BAD_REQUEST,
+                    format!("cfg.sector_lines must be in 1..=64, got {v}"),
+                ));
+            }
+            cfg.pipm.sector_lines = v as u32;
+        }
+        "local_capacity_bytes" => {
+            let v = want_u64()?;
+            if v < (1 << 20) {
+                return Err(ProtoError::new(
+                    kind::BAD_REQUEST,
+                    format!("cfg.local_capacity_bytes must be ≥ 1 MiB, got {v}"),
+                ));
+            }
+            cfg.local_capacity_bytes = v;
+        }
+        _ => {
+            return Err(ProtoError {
+                kind: kind::UNKNOWN_CFG_KEY,
+                detail: format!("unsupported cfg key `{key}`"),
+                extra: vec![(
+                    "supported".into(),
+                    Json::Arr(
+                        CFG_KEYS
+                            .iter()
+                            .map(|k| Json::Str((*k).to_string()))
+                            .collect(),
+                    ),
+                )],
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Canonically encodes one run result. Field order is fixed and every
+/// value is a deterministic function of the (deterministic) simulation,
+/// so the same job always encodes to the same bytes — whether computed
+/// cold, replayed from the run cache, or produced by a direct
+/// [`run_one`](pipm_core::run_one) call.
+pub fn encode_result(r: &RunResult, params: &WorkloadParams) -> Json {
+    let s = &r.stats;
+    let lr_total = s.local_remap_hits + s.local_remap_misses;
+    let gr_total = s.global_remap_hits + s.global_remap_misses;
+    let interhost_stall: u64 = s
+        .cores
+        .iter()
+        .map(|c| c.class_stall[AccessClass::InterHost.index()])
+        .sum();
+    let fingerprint = fingerprint64(&job_key(r.workload, r.scheme, &r.cfg, params));
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(r.workload.label().into())),
+        ("scheme".into(), Json::Str(r.scheme.label().into())),
+        (
+            "fingerprint".into(),
+            Json::Str(format!("{fingerprint:016x}")),
+        ),
+        ("refs_per_core".into(), Json::UInt(params.refs_per_core)),
+        ("seed".into(), Json::UInt(params.seed)),
+        ("exec_cycles".into(), Json::UInt(s.exec_cycles())),
+        ("ipc".into(), Json::Num(s.aggregate_ipc())),
+        ("local_hit_rate".into(), Json::Num(s.local_hit_rate())),
+        ("interhost_stall_sum".into(), Json::UInt(interhost_stall)),
+        ("mgmt_stall_sum".into(), Json::UInt(s.total_mgmt_stall())),
+        (
+            "transfer_stall_sum".into(),
+            Json::UInt(s.total_transfer_stall()),
+        ),
+        (
+            "pages_promoted".into(),
+            Json::UInt(s.migration.pages_promoted),
+        ),
+        (
+            "pages_demoted".into(),
+            Json::UInt(s.migration.pages_demoted),
+        ),
+        (
+            "lines_migrated_in".into(),
+            Json::UInt(s.migration.lines_migrated_in),
+        ),
+        (
+            "lines_migrated_back".into(),
+            Json::UInt(s.migration.lines_migrated_back),
+        ),
+        (
+            "harmful_fraction".into(),
+            Json::Num(s.migration.harmful_fraction()),
+        ),
+        (
+            "local_remap_hit_rate".into(),
+            Json::Num(if lr_total == 0 {
+                0.0
+            } else {
+                s.local_remap_hits as f64 / lr_total as f64
+            }),
+        ),
+        (
+            "global_remap_hit_rate".into(),
+            Json::Num(if gr_total == 0 {
+                0.0
+            } else {
+                s.global_remap_hits as f64 / gr_total as f64
+            }),
+        ),
+    ])
+}
+
+/// Canonical single-line encoding of a whole successful batch, in job
+/// order: `{"ok":true,"results":[...]}`.
+pub fn encode_batch(results: &[Json]) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("results".into(), Json::Arr(results.to_vec())),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> RequestLimits {
+        RequestLimits::default()
+    }
+
+    #[test]
+    fn parses_minimal_submit() {
+        let r = parse_request(
+            r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"pipm"}]}"#,
+            &limits(),
+        )
+        .unwrap();
+        let Request::Submit(jobs) = r else {
+            panic!("expected submit")
+        };
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].workload, Workload::Bfs);
+        assert_eq!(jobs[0].scheme, SchemeKind::Pipm);
+        assert_eq!(jobs[0].params.refs_per_core, limits().default_refs_per_core);
+        assert!(jobs[0].key.contains("BFS"));
+    }
+
+    #[test]
+    fn cfg_overrides_change_the_key() {
+        let base = parse_request(
+            r#"{"cmd":"submit","jobs":[{"workload":"cc","scheme":"native"}]}"#,
+            &limits(),
+        )
+        .unwrap();
+        let tweaked = parse_request(
+            r#"{"cmd":"submit","jobs":[{"workload":"cc","scheme":"native","cfg":{"link_latency_ns":100}}]}"#,
+            &limits(),
+        )
+        .unwrap();
+        let (Request::Submit(a), Request::Submit(b)) = (base, tweaked) else {
+            panic!()
+        };
+        assert_ne!(a[0].key, b[0].key);
+        assert_eq!(b[0].cfg.cxl.link_latency_ns, 100.0);
+    }
+
+    #[test]
+    fn error_kinds_are_structured() {
+        let cases: [(&str, &str); 8] = [
+            ("{nope", kind::MALFORMED),
+            (r#"{"cmd":"dance"}"#, kind::MALFORMED),
+            (
+                r#"{"cmd":"submit","jobs":[{"workload":"quake","scheme":"pipm"}]}"#,
+                kind::UNKNOWN_WORKLOAD,
+            ),
+            (
+                r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"warp"}]}"#,
+                kind::UNKNOWN_SCHEME,
+            ),
+            (
+                r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"pipm","refs_per_core":99000000}]}"#,
+                kind::LIMIT_EXCEEDED,
+            ),
+            (
+                r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"pipm","cfg":{"frobnicate":1}}]}"#,
+                kind::UNKNOWN_CFG_KEY,
+            ),
+            (
+                r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"pipm","cfg":{"global_remap_cache_bytes":3000}}]}"#,
+                kind::BAD_REQUEST,
+            ),
+            (
+                r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"pipm","cfg":{"hosts":0}}]}"#,
+                kind::BAD_REQUEST,
+            ),
+        ];
+        for (line, want) in cases {
+            let err = parse_request(line, &limits()).unwrap_err();
+            assert_eq!(err.kind, want, "line: {line}");
+            // The encoded error is itself valid protocol JSON.
+            let encoded = err.encode();
+            let back = crate::json::parse(&encoded).unwrap();
+            assert_eq!(back.get("ok").unwrap().as_bool(), Some(false));
+            assert_eq!(
+                back.get("error").unwrap().get("kind").unwrap().as_str(),
+                Some(want)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_limit_enforced() {
+        let job = r#"{"workload":"bfs","scheme":"native"}"#;
+        let many = vec![job; limits().max_batch_jobs + 1].join(",");
+        let line = format!(r#"{{"cmd":"submit","jobs":[{many}]}}"#);
+        let err = parse_request(&line, &limits()).unwrap_err();
+        assert_eq!(err.kind, kind::LIMIT_EXCEEDED);
+    }
+
+    #[test]
+    fn result_encoding_is_canonical() {
+        let params = WorkloadParams {
+            refs_per_core: 2_000,
+            seed: 5,
+        };
+        let r = pipm_core::run_one(
+            Workload::Cc,
+            SchemeKind::Native,
+            SystemConfig::experiment_scale(),
+            &params,
+        );
+        let a = encode_result(&r, &params).encode();
+        let b = encode_result(&r, &params).encode();
+        assert_eq!(a, b);
+        let parsed = crate::json::parse(&a).unwrap();
+        assert_eq!(parsed.get("workload").unwrap().as_str(), Some("CC"));
+        assert!(parsed.get("exec_cycles").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(
+            parsed.get("fingerprint").unwrap().as_str().unwrap().len(),
+            16
+        );
+    }
+}

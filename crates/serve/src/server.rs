@@ -1,0 +1,483 @@
+//! The daemon: TCP accept loop, bounded admission queue, worker pool.
+//!
+//! ```text
+//!  connections ──parse──▶ admission queue (bounded) ──▶ workers ──▶ RunCache
+//!       ▲                        │ full?                    │
+//!       └──── structured error ◀─┘          run_one / cache hit / dedup
+//! ```
+//!
+//! Every connection gets its own handler thread with a read timeout; a
+//! `submit` batch is admitted atomically (all jobs or a structured
+//! `overloaded` rejection), then the handler blocks until the worker
+//! pool has filled every job slot and writes one canonical response
+//! line. `shutdown` flips a flag: the accept loop stops, workers drain
+//! the queue, and [`Server::run`] returns `Ok(())`.
+
+use crate::json::Json;
+use crate::proto::{
+    self, encode_batch, encode_result, kind, Job, ProtoError, Request, RequestLimits,
+};
+use pipm_core::{run_one, RunCache, RunResult};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Daemon tuning knobs. [`ServerConfig::default`] suits tests and the
+/// CI smoke job; the `pipm-serve` binary exposes each as a flag.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Admission queue bound; a `submit` whose whole batch does not fit
+    /// is rejected with a structured `overloaded` error.
+    pub queue_capacity: usize,
+    /// Run-cache capacity (completed entries) before LRU eviction.
+    pub cache_capacity: usize,
+    /// Per-request validation limits and defaults.
+    pub limits: RequestLimits,
+    /// Per-connection read timeout; an idle connection is closed.
+    pub read_timeout: Duration,
+    /// Longest accepted request line in bytes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            limits: RequestLimits::default(),
+            read_timeout: Duration::from_secs(30),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Counters surfaced by the `metrics` command (admission-side; cache
+/// counters come from [`RunCache::stats`](pipm_core::RunCache::stats)).
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    jobs_admitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_invalid: AtomicU64,
+}
+
+/// One admitted job: what to run, and where the handler waits for it.
+struct QueuedJob {
+    job: Job,
+    slot: Arc<JobSlot>,
+}
+
+/// A single-assignment result slot a connection handler blocks on.
+struct JobSlot {
+    done: Mutex<Option<Result<Json, String>>>,
+    cv: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(JobSlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: Result<Json, String>) {
+        let mut done = self.done.lock().unwrap();
+        *done = Some(value);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Json, String> {
+        let mut done = self.done.lock().unwrap();
+        loop {
+            if let Some(v) = done.take() {
+                return v;
+            }
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    cache: RunCache<RunResult>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    counters: Counters,
+    started: Instant,
+}
+
+impl Shared {
+    /// Atomically admits a whole batch, or rejects it if the queue
+    /// cannot take every job (partial admission would let a half-batch
+    /// starve under load).
+    fn admit(&self, jobs: Vec<Job>) -> Result<Vec<Arc<JobSlot>>, ProtoError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(ProtoError::new(
+                kind::SHUTTING_DOWN,
+                "daemon is draining; no new work accepted",
+            ));
+        }
+        let mut queue = self.queue.lock().unwrap();
+        let free = self.cfg.queue_capacity.saturating_sub(queue.len());
+        if jobs.len() > free {
+            let depth = queue.len();
+            drop(queue);
+            self.counters
+                .rejected_overloaded
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ProtoError {
+                kind: kind::OVERLOADED,
+                detail: format!(
+                    "admission queue full ({depth}/{} queued); retry later",
+                    self.cfg.queue_capacity
+                ),
+                extra: vec![
+                    ("queue_depth".into(), Json::UInt(depth as u64)),
+                    (
+                        "queue_capacity".into(),
+                        Json::UInt(self.cfg.queue_capacity as u64),
+                    ),
+                ],
+            });
+        }
+        let mut slots = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let slot = JobSlot::new();
+            slots.push(Arc::clone(&slot));
+            queue.push_back(QueuedJob { job, slot });
+        }
+        self.counters
+            .jobs_admitted
+            .fetch_add(slots.len() as u64, Ordering::Relaxed);
+        drop(queue);
+        self.queue_cv.notify_all();
+        Ok(slots)
+    }
+
+    /// Worker loop: pop, run through the cache, fill the slot. Exits
+    /// once shutdown is flagged *and* the queue is drained.
+    fn worker(&self) {
+        loop {
+            let queued = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(q) = queue.pop_front() {
+                        break Some(q);
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (guard, _timeout) = self
+                        .queue_cv
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .unwrap();
+                    queue = guard;
+                }
+            };
+            let Some(QueuedJob { job, slot }) = queued else {
+                return;
+            };
+            // The cache deduplicates concurrent identical jobs: one
+            // worker computes while others block (counted as
+            // `inflight_waits`), and repeats are pure hits. A panic
+            // inside the simulator (hostile cfg) releases the in-flight
+            // claim and surfaces as a structured `internal` error.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.cache.get_or_compute(&job.key, || {
+                    run_one(job.workload, job.scheme, job.cfg.clone(), &job.params)
+                })
+            }));
+            match outcome {
+                Ok(result) => {
+                    self.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                    slot.fill(Ok(encode_result(&result, &job.params)));
+                }
+                Err(payload) => {
+                    self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "simulation panicked".to_string());
+                    slot.fill(Err(msg));
+                }
+            }
+        }
+    }
+
+    fn metrics_response(&self) -> String {
+        let cache = self.cache.stats();
+        let queue_depth = self.queue.lock().unwrap().len() as u64;
+        let c = &self.counters;
+        let get = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            (
+                "uptime_ms".into(),
+                Json::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+            ("queue_depth".into(), Json::UInt(queue_depth)),
+            (
+                "queue_capacity".into(),
+                Json::UInt(self.cfg.queue_capacity as u64),
+            ),
+            ("connections".into(), get(&c.connections)),
+            ("requests".into(), get(&c.requests)),
+            ("jobs_admitted".into(), get(&c.jobs_admitted)),
+            ("jobs_completed".into(), get(&c.jobs_completed)),
+            ("jobs_failed".into(), get(&c.jobs_failed)),
+            ("rejected_overloaded".into(), get(&c.rejected_overloaded)),
+            ("rejected_invalid".into(), get(&c.rejected_invalid)),
+            ("cache_entries".into(), Json::UInt(self.cache.len() as u64)),
+            ("cache_hits".into(), Json::UInt(cache.hits)),
+            ("cache_misses".into(), Json::UInt(cache.misses)),
+            (
+                "cache_inflight_dedup".into(),
+                Json::UInt(cache.inflight_waits),
+            ),
+            ("cache_evictions".into(), Json::UInt(cache.evictions)),
+        ])
+        .encode()
+    }
+
+    fn status_response(&self) -> String {
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            (
+                "state".into(),
+                Json::Str(if draining { "draining" } else { "serving" }.into()),
+            ),
+            (
+                "queue_depth".into(),
+                Json::UInt(self.queue.lock().unwrap().len() as u64),
+            ),
+            ("workers".into(), Json::UInt(self.cfg.workers as u64)),
+        ])
+        .encode()
+    }
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A handle for requesting shutdown from outside the protocol (tests,
+/// signal handlers).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Flags the daemon to drain and exit; idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+}
+
+impl Server {
+    /// Binds the listen socket. Jobs are not yet accepted; call
+    /// [`run`](Server::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let cache_capacity = cfg.cache_capacity;
+        let shared = Arc::new(Shared {
+            cfg,
+            cache: RunCache::new(cache_capacity),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            counters: Counters::default(),
+            started: Instant::now(),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The actual bound address (resolves `:0` to the chosen port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failure from the socket.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can request shutdown without a protocol message.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a `shutdown` request (or [`ShutdownHandle`]) drains
+    /// the daemon: spawns the worker pool, accepts connections, and on
+    /// shutdown stops accepting, lets workers finish every queued job,
+    /// and waits for open connections to write their responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop I/O errors other than transient
+    /// `WouldBlock`/`Interrupted`/`ConnectionAborted`.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, shared } = self;
+        let workers: Vec<_> = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || shared.worker())
+            })
+            .collect();
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                    thread::spawn(move || {
+                        let _ = handle_connection(&shared, stream);
+                        shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::Interrupted | ErrorKind::ConnectionAborted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        shared.queue_cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        // Give open connections a grace period to flush their final
+        // response lines (their jobs are already complete).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+}
+
+/// Reads request lines until EOF, timeout, shutdown, or oversized
+/// input; every parse or admission failure writes a structured error
+/// and keeps the connection (and daemon) alive.
+fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        // Bound the line length by reading through `take`; a line that
+        // fills the whole allowance without a newline is oversized.
+        let mut limited = (&mut reader).take(shared.cfg.max_line_bytes as u64 + 1);
+        match limited.read_until(b'\n', &mut line) {
+            Ok(0) => return Ok(()), // clean EOF
+            Ok(_) if line.len() > shared.cfg.max_line_bytes => {
+                shared
+                    .counters
+                    .rejected_invalid
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ProtoError::new(
+                    kind::LIMIT_EXCEEDED,
+                    format!("request line exceeds {} bytes", shared.cfg.max_line_bytes),
+                );
+                writeln!(writer, "{}", err.encode())?;
+                return Ok(()); // cannot resync mid-line; drop connection
+            }
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(()); // idle connection: close quietly
+            }
+            Err(e) => return Err(e),
+        }
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = handle_request(shared, text);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, line: &str) -> String {
+    let request = match proto::parse_request(line, &shared.cfg.limits) {
+        Ok(r) => r,
+        Err(e) => {
+            shared
+                .counters
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return e.encode();
+        }
+    };
+    match request {
+        Request::Status => shared.status_response(),
+        Request::Metrics => shared.metrics_response(),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("state".into(), Json::Str("draining".into())),
+            ])
+            .encode()
+        }
+        Request::Submit(jobs) => match shared.admit(jobs) {
+            Err(e) => e.encode(),
+            Ok(slots) => {
+                let mut results = Vec::with_capacity(slots.len());
+                for slot in slots {
+                    match slot.wait() {
+                        Ok(json) => results.push(json),
+                        Err(msg) => {
+                            // One failed job fails the batch with a
+                            // structured error; the daemon keeps going.
+                            return ProtoError::new(kind::INTERNAL, format!("job failed: {msg}"))
+                                .encode();
+                        }
+                    }
+                }
+                encode_batch(&results)
+            }
+        },
+    }
+}

@@ -9,6 +9,7 @@
 //! | `determinism` | bit-identical stats across repeats and worker counts, for both figure runs and fuzz-harness runs |
 //! | `scaling` | behaviour as hosts/cores/footprint scale |
 //! | `fuzz_harness` | differential correctness harness: seeded + property-based fuzz traces across all schemes under the functional oracle and inline SWMR/directory/remap invariants, plus the `pipm-mcheck` reachability cross-check |
+//! | `serve` | `pipm-serve` daemon over loopback TCP: byte-identical cold/warm/direct responses, run-cache dedup of concurrent identical jobs, structured error paths (malformed, unknown names, limits, queue-full), graceful shutdown drain |
 //! | `fault_injection` | harness self-test (requires `--features fault-inject`): a deliberately injected lost-invalidation must be caught by the oracle/invariants |
 //!
 //! The fuzz-harness pieces live in the library crates they exercise:
