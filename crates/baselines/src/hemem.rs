@@ -69,6 +69,10 @@ impl HotnessPolicy for HememPolicy {
         self.budget = pages;
     }
 
+    fn box_clone(&self) -> Box<dyn HotnessPolicy> {
+        Box::new(self.clone())
+    }
+
     fn end_interval(&mut self) -> IntervalOutcome {
         let mut out = IntervalOutcome::default();
         for hi in 0..self.counters.len() {

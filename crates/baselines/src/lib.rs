@@ -78,7 +78,7 @@ impl IntervalOutcome {
 /// Implementations keep their own view of which pages they have promoted
 /// (the simulator applies every decision), and must respect the per-host
 /// capacity and per-interval budget they were constructed with.
-pub trait HotnessPolicy: std::fmt::Debug {
+pub trait HotnessPolicy: std::fmt::Debug + Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
@@ -103,6 +103,17 @@ pub trait HotnessPolicy: std::fmt::Debug {
     /// Sets the promotion budget (pages) available for the *next*
     /// interval — the kernel migration bandwidth the mechanism grants.
     fn set_interval_budget(&mut self, pages: usize);
+
+    /// Deep-copies the policy, preserving all hotness state. Checkpointing
+    /// (`pipm-core`'s snapshot/fork machinery) relies on this to clone a
+    /// warmed simulator mid-run.
+    fn box_clone(&self) -> Box<dyn HotnessPolicy>;
+}
+
+impl Clone for Box<dyn HotnessPolicy> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }
 
 /// Shared bookkeeping for policies: per-host resident sets with capacity

@@ -67,6 +67,10 @@ impl HotnessPolicy for NomadPolicy {
         self.budget = pages;
     }
 
+    fn box_clone(&self) -> Box<dyn HotnessPolicy> {
+        Box::new(self.clone())
+    }
+
     fn end_interval(&mut self) -> IntervalOutcome {
         let mut out = IntervalOutcome::default();
         let hosts = self.current.len();

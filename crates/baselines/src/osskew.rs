@@ -98,6 +98,10 @@ impl HotnessPolicy for OsSkewPolicy {
         self.budget = pages;
     }
 
+    fn box_clone(&self) -> Box<dyn HotnessPolicy> {
+        Box::new(self.clone())
+    }
+
     fn end_interval(&mut self) -> IntervalOutcome {
         let mut out = IntervalOutcome::default();
         let mut promoted = 0;

@@ -1,7 +1,8 @@
 //! One function per paper table/figure; binaries in `src/bin` are thin
 //! wrappers. Output is TSV with the same rows/series the paper plots.
 
-use crate::{geomean, print_table, Harness, RunSpec};
+use crate::{geomean, print_table, Harness, RunSpec, SweepSpec};
+use pipm_core::CfgDelta;
 use pipm_types::{SchemeKind, SystemConfig};
 use pipm_workloads::Workload;
 
@@ -431,44 +432,35 @@ pub fn fig13(h: &Harness) {
 }
 
 /// Figure 14: PIPM speedup over Native under different CXL link latencies
-/// (50 ns default, 100 ns switch-attached).
+/// (50 ns default, 100 ns switch-attached). A checkpointed sweep: each
+/// `(workload, scheme)` simulates one warmed prefix and forks it per
+/// latency point, with only the measured tail under the swept latency.
 pub fn fig14(h: &Harness) {
     let latencies = [("50ns", 50.0), ("100ns", 100.0)];
-    let lat_variant = |label: &str, ns: f64| {
-        if ns == 50.0 {
-            String::new()
-        } else {
-            format!("lat={label}")
-        }
+    let delta = |ns: f64| CfgDelta {
+        link_latency_ns: Some(ns),
+        ..CfgDelta::default()
     };
-    let specs: Vec<RunSpec> = h
+    let specs: Vec<SweepSpec> = h
         .workloads()
         .into_iter()
         .flat_map(|w| {
             latencies.into_iter().flat_map(move |(label, ns)| {
                 [SchemeKind::Native, SchemeKind::Pipm]
                     .into_iter()
-                    .map(move |s| {
-                        RunSpec::new(w, s, lat_variant(label, ns), move |cfg| {
-                            cfg.cxl.link_latency_ns = ns;
-                        })
-                    })
+                    .map(move |s| SweepSpec::new(w, s, format!("lat={label}"), delta(ns)))
             })
         })
         .collect();
-    h.prefetch(specs);
+    let _ = h.measure_sweep_many(&specs);
     let mut rows = Vec::new();
     let mut per_lat: Vec<Vec<f64>> = vec![Vec::new(); latencies.len()];
     for w in h.workloads() {
         let mut row = vec![w.label().to_string()];
         for (i, (label, ns)) in latencies.iter().enumerate() {
-            let variant = lat_variant(label, *ns);
-            let native = h.measure(w, SchemeKind::Native, &variant, |cfg| {
-                cfg.cxl.link_latency_ns = *ns;
-            });
-            let pipm = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
-                cfg.cxl.link_latency_ns = *ns;
-            });
+            let variant = format!("lat={label}");
+            let native = h.measure_sweep(w, SchemeKind::Native, &variant, delta(*ns));
+            let pipm = h.measure_sweep(w, SchemeKind::Pipm, &variant, delta(*ns));
             let speedup = native.exec_cycles as f64 / pipm.exec_cycles.max(1) as f64;
             per_lat[i].push(speedup);
             row.push(format!("{speedup:.3}"));
@@ -487,46 +479,35 @@ pub fn fig14(h: &Harness) {
 }
 
 /// Figure 15: PIPM speedup over Native under different CXL link
-/// bandwidths (×8 / ×16 / ×32 lanes → 4 / 8 / 16 GB/s raw).
+/// bandwidths (×8 / ×16 / ×32 lanes → 4 / 8 / 16 GB/s raw). A
+/// checkpointed sweep sharing its warmed prefixes with Fig. 14 (same
+/// base configuration, so the checkpoint cache serves both).
 pub fn fig15(h: &Harness) {
     let bws = [("x8", 4.0), ("x16", 8.0), ("x32", 16.0)];
-    let specs: Vec<RunSpec> = h
+    let delta = |gbps: f64| CfgDelta {
+        link_gbps: Some(gbps),
+        ..CfgDelta::default()
+    };
+    let specs: Vec<SweepSpec> = h
         .workloads()
         .into_iter()
         .flat_map(|w| {
-            bws.into_iter().flat_map(move |(_, gbps)| {
+            bws.into_iter().flat_map(move |(label, gbps)| {
                 [SchemeKind::Native, SchemeKind::Pipm]
                     .into_iter()
-                    .map(move |s| {
-                        let variant = if gbps == 8.0 {
-                            String::new()
-                        } else {
-                            format!("bw={gbps}")
-                        };
-                        RunSpec::new(w, s, variant, move |cfg| {
-                            cfg.cxl.link_gbps = gbps;
-                        })
-                    })
+                    .map(move |s| SweepSpec::new(w, s, format!("bw={label}"), delta(gbps)))
             })
         })
         .collect();
-    h.prefetch(specs);
+    let _ = h.measure_sweep_many(&specs);
     let mut rows = Vec::new();
     let mut per_bw: Vec<Vec<f64>> = vec![Vec::new(); bws.len()];
     for w in h.workloads() {
         let mut row = vec![w.label().to_string()];
-        for (i, (_, gbps)) in bws.iter().enumerate() {
-            let variant = if *gbps == 8.0 {
-                String::new()
-            } else {
-                format!("bw={gbps}")
-            };
-            let native = h.measure(w, SchemeKind::Native, &variant, |cfg| {
-                cfg.cxl.link_gbps = *gbps;
-            });
-            let pipm = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
-                cfg.cxl.link_gbps = *gbps;
-            });
+        for (i, (label, gbps)) in bws.iter().enumerate() {
+            let variant = format!("bw={label}");
+            let native = h.measure_sweep(w, SchemeKind::Native, &variant, delta(*gbps));
+            let pipm = h.measure_sweep(w, SchemeKind::Pipm, &variant, delta(*gbps));
             let speedup = native.exec_cycles as f64 / pipm.exec_cycles.max(1) as f64;
             per_bw[i].push(speedup);
             row.push(format!("{speedup:.3}"));
@@ -578,70 +559,62 @@ pub fn fig17(h: &Harness) {
     );
 }
 
+/// Shared Fig. 16/17 driver: a checkpointed sweep over remapping-cache
+/// sizes (`sizes` includes the effectively-infinite normalization
+/// point). All points of both figures — and the threshold sweep — fork
+/// the same per-workload PIPM prefix, since the swept parameter only
+/// binds in the measured tail.
 fn remap_cache_sweep(h: &Harness, title: &str, sizes: &[(&str, u64)], local: bool) {
     let prefix = if local { "l" } else { "g" };
-    let mut specs = Vec::new();
-    for w in h.workloads() {
-        specs.push(RunSpec::new(
-            w,
-            SchemeKind::Pipm,
-            format!("{prefix}rc=inf"),
-            move |cfg| {
-                if local {
-                    cfg.pipm.local_remap_cache_bytes = 1 << 40;
-                } else {
-                    cfg.pipm.global_remap_cache_bytes = 1 << 40;
-                }
-            },
-        ));
-        for (label, bytes) in sizes {
-            let bytes = *bytes;
-            let is_default = (local && bytes == (1 << 20)) || (!local && bytes == (16 << 10));
-            let variant = if is_default {
-                String::new()
-            } else {
-                format!("{prefix}rc={label}")
-            };
-            specs.push(RunSpec::new(w, SchemeKind::Pipm, variant, move |cfg| {
-                if local {
-                    cfg.pipm.local_remap_cache_bytes = bytes;
-                } else {
-                    cfg.pipm.global_remap_cache_bytes = bytes;
-                }
-            }));
+    let delta = |bytes: u64| {
+        if local {
+            CfgDelta {
+                local_remap_cache_bytes: Some(bytes),
+                ..CfgDelta::default()
+            }
+        } else {
+            CfgDelta {
+                global_remap_cache_bytes: Some(bytes),
+                ..CfgDelta::default()
+            }
         }
-    }
-    h.prefetch(specs);
+    };
+    let specs: Vec<SweepSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            sizes.iter().map(move |(label, bytes)| {
+                SweepSpec::new(
+                    w,
+                    SchemeKind::Pipm,
+                    format!("{prefix}rc={label}"),
+                    delta(*bytes),
+                )
+            })
+        })
+        .collect();
+    let _ = h.measure_sweep_many(&specs);
+    let (inf_label, inf_bytes) = sizes
+        .iter()
+        .find(|(l, _)| *l == "inf")
+        .expect("remap cache sweeps include the infinite normalization point");
     let mut rows = Vec::new();
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for w in h.workloads() {
-        let inf = h.measure(
+        let inf = h.measure_sweep(
             w,
             SchemeKind::Pipm,
-            &format!("{}rc=inf", if local { "l" } else { "g" }),
-            |cfg| {
-                if local {
-                    cfg.pipm.local_remap_cache_bytes = 1 << 40;
-                } else {
-                    cfg.pipm.global_remap_cache_bytes = 1 << 40;
-                }
-            },
+            &format!("{prefix}rc={inf_label}"),
+            delta(*inf_bytes),
         );
         let mut row = vec![w.label().to_string()];
         for (i, (label, bytes)) in sizes.iter().enumerate() {
-            let is_default = (local && *bytes == (1 << 20)) || (!local && *bytes == (16 << 10));
-            let variant = if is_default {
-                String::new()
-            } else {
-                format!("{}rc={label}", if local { "l" } else { "g" })
-            };
-            let m = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
-                if local {
-                    cfg.pipm.local_remap_cache_bytes = *bytes;
-                } else {
-                    cfg.pipm.global_remap_cache_bytes = *bytes;
-                }
-            });
+            let m = h.measure_sweep(
+                w,
+                SchemeKind::Pipm,
+                &format!("{prefix}rc={label}"),
+                delta(*bytes),
+            );
             let rel = inf.exec_cycles as f64 / m.exec_cycles.max(1) as f64;
             per_size[i].push(rel);
             row.push(format!("{rel:.4}"));
@@ -660,40 +633,32 @@ fn remap_cache_sweep(h: &Harness, title: &str, sizes: &[(&str, u64)], local: boo
 }
 
 /// §5.1.4 ablation: PIPM performance across migration thresholds
-/// (the paper observes similar performance for thresholds 4–16).
+/// (the paper observes similar performance for thresholds 4–16). A
+/// checkpointed sweep forking the same per-workload PIPM prefix as
+/// Fig. 16/17; thresholds bind late, in the measured tail only.
 pub fn threshold_sweep(h: &Harness) {
     let thresholds = [4u8, 8, 16];
-    let specs: Vec<RunSpec> = h
+    let delta = |t: u8| CfgDelta {
+        migration_threshold: Some(t),
+        ..CfgDelta::default()
+    };
+    let specs: Vec<SweepSpec> = h
         .workloads()
         .into_iter()
         .flat_map(|w| {
-            thresholds.into_iter().map(move |t| {
-                let variant = if t == 8 {
-                    String::new()
-                } else {
-                    format!("thr={t}")
-                };
-                RunSpec::new(w, SchemeKind::Pipm, variant, move |cfg| {
-                    cfg.pipm.migration_threshold = t;
-                })
-            })
+            thresholds
+                .into_iter()
+                .map(move |t| SweepSpec::new(w, SchemeKind::Pipm, format!("thr={t}"), delta(t)))
         })
         .collect();
-    h.prefetch(specs);
+    let _ = h.measure_sweep_many(&specs);
     let mut rows = Vec::new();
     let mut per_thr: Vec<Vec<f64>> = vec![Vec::new(); thresholds.len()];
     for w in h.workloads() {
-        let base = h.measure_default(w, SchemeKind::Pipm);
+        let base = h.measure_sweep(w, SchemeKind::Pipm, "thr=8", delta(8));
         let mut row = vec![w.label().to_string()];
         for (i, t) in thresholds.iter().enumerate() {
-            let variant = if *t == 8 {
-                String::new()
-            } else {
-                format!("thr={t}")
-            };
-            let m = h.measure(w, SchemeKind::Pipm, &variant, |cfg| {
-                cfg.pipm.migration_threshold = *t;
-            });
+            let m = h.measure_sweep(w, SchemeKind::Pipm, &format!("thr={t}"), delta(*t));
             let rel = base.exec_cycles as f64 / m.exec_cycles.max(1) as f64;
             per_thr[i].push(rel);
             row.push(format!("{rel:.3}"));

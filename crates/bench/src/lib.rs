@@ -25,6 +25,12 @@
 //!   400 K refs/core; the EXPERIMENTS.md results use the default).
 //! * `PIPM_WORKLOADS` — comma-separated workload filter (default: all 13).
 //! * `PIPM_NO_CACHE` — ignore the on-disk result cache.
+//! * `PIPM_NO_FORK` — disable checkpoint forking for the parameter-sweep
+//!   figures (Fig. 14–17, threshold sweep): every sweep point re-runs its
+//!   warmed prefix from scratch instead of forking the shared
+//!   [`pipm_core::Checkpoint`]. Results are bit-identical either way
+//!   (asserted by `tests/checkpoint.rs` and this crate's tests); the knob
+//!   exists to measure the speedup and to bisect the fork path.
 //! * `PIPM_WORKERS` — worker-thread count (default: available
 //!   parallelism; non-numeric values warn and fall back).
 //! * `PIPM_QUIET` — suppress the per-run observability lines on stderr.
@@ -37,7 +43,10 @@
 
 pub mod figs;
 
-use pipm_core::{job_key, run_one, RunCache, RunResult};
+use pipm_core::{
+    checkpoint_key, job_key, resume_one, run_one, run_one_with_delta, run_prefix_one, CfgDelta,
+    Checkpoint, RunCache, RunResult,
+};
 use pipm_types::{AccessClass, SchemeKind, SystemConfig};
 use pipm_workloads::{Workload, WorkloadParams};
 use std::io::Write as _;
@@ -45,6 +54,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Warm-up fraction of the checkpointed sweep figures (Fig. 14–17 and
+/// the threshold sweep): the first 2/3 of each run is the shared warmed
+/// prefix — simulated once per `(workload, scheme)` and forked — and the
+/// final third is the measured tail, simulated entirely under each
+/// point's [`CfgDelta`]. Re-exported from `pipm-core` so `pipm-serve`'s
+/// `whatif` requests use the identical split (and checkpoint keys).
+pub use pipm_core::SWEEP_WARMUP_FRACTION;
 
 /// Everything the figures need from one simulation run, in a flat,
 /// TSV-serializable form.
@@ -226,6 +243,39 @@ impl RunSpec {
     }
 }
 
+/// One point of a checkpointed parameter sweep: the base run is shared
+/// (one warmed prefix per `(workload, scheme)`), and only the `delta`
+/// distinguishes the points — what [`Harness::measure_sweep_many`] fans
+/// out.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Workload to simulate.
+    pub workload: Workload,
+    /// Scheme to simulate.
+    pub scheme: SchemeKind,
+    /// Unique name of the sweep point ("" for the default value).
+    pub variant: String,
+    /// The late-binding configuration deviation of this point.
+    pub delta: CfgDelta,
+}
+
+impl SweepSpec {
+    /// A sweep point named `variant` applying `delta` to the tail.
+    pub fn new(
+        workload: Workload,
+        scheme: SchemeKind,
+        variant: impl Into<String>,
+        delta: CfgDelta,
+    ) -> Self {
+        SweepSpec {
+            workload,
+            scheme,
+            variant: variant.into(),
+            delta,
+        }
+    }
+}
+
 /// Monotonic observability counters, readable as a snapshot to compute
 /// per-figure deltas.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -242,6 +292,15 @@ pub struct HarnessCounters {
     /// Wall nanoseconds spent inside executed runs (summed across
     /// workers; exceeds elapsed time when runs overlap).
     pub run_wall_nanos: u64,
+    /// Warmed sweep prefixes simulated (checkpoint-cache misses).
+    pub ckpt_prefixes: u64,
+    /// Sweep points served by forking a warmed checkpoint instead of
+    /// re-simulating its prefix.
+    pub ckpt_forks: u64,
+    /// Wall nanoseconds spent simulating sweep prefixes (each fork
+    /// beyond the first per checkpoint saves roughly
+    /// `ckpt_prefix_wall_nanos / ckpt_prefixes`).
+    pub ckpt_prefix_wall_nanos: u64,
 }
 
 impl HarnessCounters {
@@ -253,6 +312,9 @@ impl HarnessCounters {
             cache_inflight_dedup: self.cache_inflight_dedup - earlier.cache_inflight_dedup,
             sim_cycles: self.sim_cycles - earlier.sim_cycles,
             run_wall_nanos: self.run_wall_nanos - earlier.run_wall_nanos,
+            ckpt_prefixes: self.ckpt_prefixes - earlier.ckpt_prefixes,
+            ckpt_forks: self.ckpt_forks - earlier.ckpt_forks,
+            ckpt_prefix_wall_nanos: self.ckpt_prefix_wall_nanos - earlier.ckpt_prefix_wall_nanos,
         }
     }
 }
@@ -277,11 +339,21 @@ pub struct Harness {
     pub seed: u64,
     workers: usize,
     quiet: bool,
+    no_fork: bool,
     cache: RunCache<Measurement>,
+    /// Warmed sweep checkpoints, keyed by [`pipm_core::checkpoint_key`].
+    /// `get_or_compute` clones the stored value out, and cloning a
+    /// [`Checkpoint`] *is* the fork, so every lookup hands back an
+    /// independent warmed simulator. Bounded: checkpoints hold a full
+    /// deep-copied `System` each.
+    ckpt_cache: RunCache<Checkpoint>,
     cache_path: Option<PathBuf>,
     runs: AtomicU64,
     sim_cycles: AtomicU64,
     run_wall_nanos: AtomicU64,
+    ckpt_prefixes: AtomicU64,
+    ckpt_forks: AtomicU64,
+    ckpt_prefix_wall_nanos: AtomicU64,
     timings: Mutex<Vec<FigureTiming>>,
 }
 
@@ -345,6 +417,7 @@ impl Harness {
         }
         let mut h = Harness::with_settings(refs, 0x51_57, cache_path, workers);
         h.quiet = env_flag(std::env::var("PIPM_QUIET").ok().as_deref());
+        h.no_fork = env_flag(std::env::var("PIPM_NO_FORK").ok().as_deref());
         h
     }
 
@@ -375,13 +448,25 @@ impl Harness {
             seed,
             workers: workers.max(1),
             quiet: true,
+            no_fork: false,
             cache,
+            ckpt_cache: RunCache::new(64),
             cache_path,
             runs: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
             run_wall_nanos: AtomicU64::new(0),
+            ckpt_prefixes: AtomicU64::new(0),
+            ckpt_forks: AtomicU64::new(0),
+            ckpt_prefix_wall_nanos: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Disables checkpoint forking for the sweep figures (the
+    /// `PIPM_NO_FORK` knob): every sweep point re-simulates its warmed
+    /// prefix from scratch. Results are bit-identical either way.
+    pub fn set_no_fork(&mut self, no_fork: bool) {
+        self.no_fork = no_fork;
     }
 
     /// Number of worker threads [`Harness::measure_many`] fans out to.
@@ -431,20 +516,23 @@ impl Harness {
             let wall = started.elapsed();
             let m = Measurement::from_run(&run);
             self.record_run(workload, scheme, variant, &m, wall);
-            if let Some(p) = &self.cache_path {
-                if let Some(dir) = p.parent() {
-                    let _ = std::fs::create_dir_all(dir);
-                }
-                if let Ok(mut f) = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(p)
-                {
-                    let _ = writeln!(f, "{key}\t{}", m.to_tsv());
-                }
-            }
+            self.append_disk_cache(&key, &m);
             m
         })
+    }
+
+    fn append_disk_cache(&self, key: &str, m: &Measurement) {
+        let Some(p) = &self.cache_path else { return };
+        if let Some(dir) = p.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+        {
+            let _ = writeln!(f, "{key}\t{}", m.to_tsv());
+        }
     }
 
     /// Default-configuration measurement (the Fig. 10–13 matrix).
@@ -499,6 +587,146 @@ impl Harness {
         let _ = self.measure_many(&specs);
     }
 
+    /// The base configuration shared by every point of a checkpointed
+    /// sweep: experiment scale, with the warm-up window widened to
+    /// [`SWEEP_WARMUP_FRACTION`] so the checkpoint taken at the warm-up
+    /// boundary leaves the *entire measured tail* under the point's
+    /// [`CfgDelta`].
+    fn sweep_base_cfg(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::experiment_scale();
+        cfg.warmup_fraction = SWEEP_WARMUP_FRACTION;
+        cfg
+    }
+
+    /// The sweep fork point in total processed references: the warm-up
+    /// boundary of [`Harness::sweep_base_cfg`], computed with the same
+    /// expression the simulator uses to place it.
+    fn sweep_prefix_refs(&self, cfg: &SystemConfig) -> u64 {
+        let total = self.refs_per_core * cfg.total_cores() as u64;
+        (cfg.warmup_fraction * total as f64) as u64
+    }
+
+    /// Measures one point of a parameter sweep: the run's warmed prefix
+    /// (the warm-up window, 2/3 of the run) is simulated **once** per
+    /// `(workload, scheme)` under the base configuration and cached as a
+    /// [`Checkpoint`]; this point then forks the checkpoint and simulates
+    /// only the measured tail under `delta`. Results are bit-identical
+    /// to an uninterrupted run applying `delta` at the same boundary
+    /// (`tests/checkpoint.rs`), which is exactly what the `PIPM_NO_FORK`
+    /// knob falls back to.
+    ///
+    /// Sweep points live in their own cache namespace (`sweep-v1|…`):
+    /// a sweep measurement is prefix-under-base + tail-under-delta, which
+    /// is *not* the same run as a full simulation under the delta'd
+    /// configuration, so it must never alias a [`Harness::measure`] key.
+    pub fn measure_sweep(
+        &self,
+        workload: Workload,
+        scheme: SchemeKind,
+        variant: &str,
+        delta: CfgDelta,
+    ) -> Measurement {
+        let cfg = self.sweep_base_cfg();
+        let params = WorkloadParams {
+            refs_per_core: self.refs_per_core,
+            seed: self.seed,
+        };
+        let prefix = self.sweep_prefix_refs(&cfg);
+        let key = format!(
+            "sweep-v1|{}|prefix={prefix}|delta={delta:?}",
+            job_key(workload, scheme, &cfg, &params)
+        );
+        self.cache.get_or_compute(&key, || {
+            let (run, wall) = if self.no_fork {
+                let started = Instant::now();
+                let run =
+                    run_one_with_delta(workload, scheme, cfg.clone(), &params, prefix, &delta);
+                (run, started.elapsed())
+            } else {
+                let ckpt = self.warmed_checkpoint(workload, scheme, &cfg, &params, prefix);
+                self.ckpt_forks.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                let run = resume_one(workload, scheme, ckpt, &delta);
+                (run, started.elapsed())
+            };
+            let m = Measurement::from_run(&run);
+            self.record_run(workload, scheme, variant, &m, wall);
+            self.append_disk_cache(&key, &m);
+            m
+        })
+    }
+
+    /// Returns a fork of the warmed checkpoint for `(workload, scheme)`
+    /// under the sweep base configuration, simulating the prefix on the
+    /// first request. Concurrent requests deduplicate: one worker
+    /// simulates the prefix, the others block and are handed forks.
+    fn warmed_checkpoint(
+        &self,
+        workload: Workload,
+        scheme: SchemeKind,
+        cfg: &SystemConfig,
+        params: &WorkloadParams,
+        prefix: u64,
+    ) -> Checkpoint {
+        let key = checkpoint_key(workload, scheme, cfg, params, prefix);
+        self.ckpt_cache.get_or_compute(&key, || {
+            let started = Instant::now();
+            let ckpt = run_prefix_one(workload, scheme, cfg.clone(), params, prefix);
+            let wall = started.elapsed();
+            self.ckpt_prefixes.fetch_add(1, Ordering::Relaxed);
+            self.ckpt_prefix_wall_nanos
+                .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+            if !self.quiet {
+                eprintln!(
+                    "[prefix] {workload}/{scheme} refs={} wall={:.2}s",
+                    ckpt.processed(),
+                    wall.as_secs_f64(),
+                );
+            }
+            ckpt
+        })
+    }
+
+    /// Measures every sweep point, fanning uncached points out across
+    /// [`Harness::workers`] scoped threads (same scheme as
+    /// [`Harness::measure_many`]). Points sharing a `(workload, scheme)`
+    /// deduplicate their prefix through the checkpoint cache, so a K-point
+    /// sweep simulates one prefix plus K tails instead of K full runs.
+    pub fn measure_sweep_many(&self, specs: &[SweepSpec]) -> Vec<Measurement> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.workers.min(specs.len());
+        if threads <= 1 {
+            return specs
+                .iter()
+                .map(|s| self.measure_sweep(s.workload, s.scheme, &s.variant, s.delta))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Measurement>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let m =
+                        self.measure_sweep(spec.workload, spec.scheme, &spec.variant, spec.delta);
+                    *results[i].lock().expect("result slot poisoned") = Some(m);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker completed every claimed spec")
+            })
+            .collect()
+    }
+
     fn record_run(
         &self,
         workload: Workload,
@@ -532,6 +760,9 @@ impl Harness {
             cache_inflight_dedup: cache.inflight_waits,
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
             run_wall_nanos: self.run_wall_nanos.load(Ordering::Relaxed),
+            ckpt_prefixes: self.ckpt_prefixes.load(Ordering::Relaxed),
+            ckpt_forks: self.ckpt_forks.load(Ordering::Relaxed),
+            ckpt_prefix_wall_nanos: self.ckpt_prefix_wall_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -583,6 +814,19 @@ impl Harness {
             s.preloads,
             self.cache.len(),
         );
+        let prefixes = c.ckpt_prefixes;
+        if prefixes > 0 {
+            // Each fork beyond the first per checkpoint would otherwise
+            // have re-simulated a prefix of roughly the mean prefix cost.
+            let mean_prefix_secs = c.ckpt_prefix_wall_nanos as f64 / 1e9 / prefixes as f64;
+            let saved = c.ckpt_forks.saturating_sub(prefixes) as f64 * mean_prefix_secs;
+            eprintln!(
+                "[timing] checkpoints  prefixes={} forks={} prefix_wall={:.2}s est_saved={saved:.2}s",
+                prefixes,
+                c.ckpt_forks,
+                c.ckpt_prefix_wall_nanos as f64 / 1e9,
+            );
+        }
     }
 }
 
@@ -729,6 +973,138 @@ mod tests {
             assert_eq!(&s, m, "parallel must be bit-identical to serial");
         }
         assert_eq!(par.counters().runs, 3);
+    }
+
+    #[test]
+    fn forked_sweep_matches_no_fork_and_counts_one_prefix() {
+        let points = [
+            (
+                "lat=100ns",
+                CfgDelta {
+                    link_latency_ns: Some(100.0),
+                    ..CfgDelta::default()
+                },
+            ),
+            (
+                "bw=4",
+                CfgDelta {
+                    link_gbps: Some(4.0),
+                    ..CfgDelta::default()
+                },
+            ),
+            (
+                "thr=4",
+                CfgDelta {
+                    migration_threshold: Some(4),
+                    ..CfgDelta::default()
+                },
+            ),
+        ];
+        let forked = Harness::with_settings(10_000, 7, None, 2);
+        let mut straight = Harness::with_settings(10_000, 7, None, 2);
+        straight.set_no_fork(true);
+        for (variant, delta) in points {
+            let a = forked.measure_sweep(Workload::Bfs, SchemeKind::Pipm, variant, delta);
+            let b = straight.measure_sweep(Workload::Bfs, SchemeKind::Pipm, variant, delta);
+            assert_eq!(a, b, "{variant}: forked must be bit-identical to unforked");
+        }
+        let c = forked.counters();
+        assert_eq!(c.ckpt_prefixes, 1, "one shared prefix across the sweep");
+        assert_eq!(c.ckpt_forks, 3, "one fork per point");
+        assert!(c.ckpt_prefix_wall_nanos > 0);
+    }
+
+    /// Acceptance measurement for the checkpointed sweeps: a K=8 latency
+    /// sweep forked from one warmed prefix must at least halve the
+    /// serial wall-clock vs re-simulating every point from scratch
+    /// (theoretical ratio at `SWEEP_WARMUP_FRACTION` = 2/3 is
+    /// 8 / (2/3 + 8/3) = 2.4x). Wall-clock asserts are machine-
+    /// sensitive, so this runs only on demand:
+    /// `cargo test -p pipm-bench --release -- --ignored`.
+    #[test]
+    #[ignore = "wall-clock measurement; run with --ignored on a quiet machine"]
+    fn k8_forked_sweep_at_least_halves_serial_wall_clock() {
+        let deltas: Vec<(String, CfgDelta)> = (0..8)
+            .map(|i| {
+                let ns = 60.0 + 20.0 * i as f64;
+                (
+                    format!("lat={ns}ns"),
+                    CfgDelta {
+                        link_latency_ns: Some(ns),
+                        ..CfgDelta::default()
+                    },
+                )
+            })
+            .collect();
+        let time_points = |h: &Harness| {
+            let started = Instant::now();
+            for (variant, delta) in &deltas {
+                h.measure_sweep(Workload::Bfs, SchemeKind::Pipm, variant, *delta);
+            }
+            started.elapsed()
+        };
+        let forked = Harness::with_settings(120_000, 7, None, 1);
+        let forked_wall = time_points(&forked);
+        let mut straight = Harness::with_settings(120_000, 7, None, 1);
+        straight.set_no_fork(true);
+        let straight_wall = time_points(&straight);
+        assert_eq!(forked.counters().ckpt_prefixes, 1);
+        assert_eq!(forked.counters().ckpt_forks, 8);
+        assert!(
+            straight_wall >= forked_wall * 2,
+            "expected >=2x serial wall-clock reduction: forked={forked_wall:?} unforked={straight_wall:?}"
+        );
+        let s = straight.counters();
+        assert_eq!((s.ckpt_prefixes, s.ckpt_forks), (0, 0));
+    }
+
+    #[test]
+    fn sweep_many_matches_serial_across_worker_counts() {
+        let delta = |ns: f64| CfgDelta {
+            link_latency_ns: Some(ns),
+            ..CfgDelta::default()
+        };
+        let specs: Vec<SweepSpec> = [50.0, 100.0, 200.0]
+            .into_iter()
+            .flat_map(|ns| {
+                [SchemeKind::Native, SchemeKind::Pipm]
+                    .into_iter()
+                    .map(move |s| SweepSpec::new(Workload::Bfs, s, format!("lat={ns}"), delta(ns)))
+            })
+            .collect();
+        let par = Harness::with_settings(10_000, 7, None, 4);
+        let results = par.measure_sweep_many(&specs);
+        let serial = Harness::with_settings(10_000, 7, None, 1);
+        for (spec, m) in specs.iter().zip(&results) {
+            let s = serial.measure_sweep(spec.workload, spec.scheme, &spec.variant, spec.delta);
+            assert_eq!(&s, m, "parallel sweep must be bit-identical to serial");
+        }
+        // Both harnesses simulated exactly one prefix per scheme.
+        assert_eq!(par.counters().ckpt_prefixes, 2);
+        assert_eq!(serial.counters().ckpt_prefixes, 2);
+    }
+
+    #[test]
+    fn sweep_keys_never_alias_plain_measurements() {
+        // A sweep point (prefix under base cfg + tail under delta) is a
+        // different run than a full simulation under the delta'd cfg:
+        // the caches must keep them apart even when the final
+        // configurations are identical.
+        let h = Harness::with_settings(10_000, 7, None, 1);
+        let _sweep = h.measure_sweep(
+            Workload::Bfs,
+            SchemeKind::Pipm,
+            "thr=4",
+            CfgDelta {
+                migration_threshold: Some(4),
+                ..CfgDelta::default()
+            },
+        );
+        let _plain = h.measure(Workload::Bfs, SchemeKind::Pipm, "thr=4", |cfg| {
+            cfg.warmup_fraction = SWEEP_WARMUP_FRACTION;
+            cfg.pipm.migration_threshold = 4;
+        });
+        assert_eq!(h.counters().runs, 2, "the two points must not share a run");
     }
 
     #[test]

@@ -289,6 +289,12 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
     }
+
+    /// Seeds the statistics counters, e.g. to carry accumulated hit/miss
+    /// counts across a structural rebuild (cache resizing mid-run).
+    pub fn set_stats(&mut self, stats: CacheStats) {
+        self.stats = stats;
+    }
 }
 
 /// Invalidates all 64 lines of `page` from a line-keyed structure,

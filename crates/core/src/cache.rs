@@ -48,6 +48,28 @@ pub fn job_key(
     )
 }
 
+/// Canonical content address of a warmed checkpoint: the prefix run's
+/// [`job_key`] (over the *base* configuration, before any [`CfgDelta`])
+/// plus the prefix length in total processed references. Runs are
+/// deterministic, so a checkpoint is a pure function of these inputs and
+/// can be cached and forked by any consumer — the figure harness's sweep
+/// path and the serve daemon's `whatif` requests address identical
+/// prefixes identically.
+///
+/// [`CfgDelta`]: crate::CfgDelta
+pub fn checkpoint_key(
+    workload: Workload,
+    scheme: SchemeKind,
+    cfg: &SystemConfig,
+    params: &WorkloadParams,
+    prefix_refs: u64,
+) -> String {
+    format!(
+        "ckpt-v1|{}|prefix={prefix_refs}",
+        job_key(workload, scheme, cfg, params)
+    )
+}
+
 /// 64-bit FNV-1a digest of a canonical [`job_key`], for compact display
 /// (wire protocol, logs). Collisions are astronomically unlikely for the
 /// handful of jobs a deployment sees, and nothing correctness-critical
@@ -431,6 +453,48 @@ mod tests {
             s.inflight_waits > 0,
             "at least one thread must have observed the in-flight claim"
         );
+    }
+
+    #[test]
+    fn eviction_pressure_cannot_starve_a_blocked_waiter() {
+        // Capacity-1 cache: while a producer computes "k" and a waiter
+        // blocks on its in-flight claim, other threads churn the cache
+        // hard enough to trigger evictions on every store. When the
+        // producer finally lands "k", the store must not pick its own
+        // just-stored entry as the eviction victim — the waiter must be
+        // handed the produced value, not sent back to recompute.
+        let c: RunCache<u64> = RunCache::new(1);
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                c.get_or_compute("k", || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                    42
+                })
+            });
+            // Give the producer time to claim, then block a waiter on it.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let waiter = scope.spawn(|| {
+                c.get_or_compute("k", || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    42
+                })
+            });
+            // Churn: every store evicts the previous entry (capacity 1),
+            // overlapping the producer's sleep and its final store.
+            for i in 0..200u64 {
+                c.get_or_compute(&format!("churn-{i}"), || i);
+            }
+            assert_eq!(producer.join().expect("producer panicked"), 42);
+            assert_eq!(waiter.join().expect("waiter panicked"), 42);
+        });
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            1,
+            "the waiter must receive the producer's value, never recompute"
+        );
+        assert!(c.stats().evictions >= 199, "churn must actually evict");
     }
 
     #[test]

@@ -48,16 +48,16 @@ pub mod remap;
 mod runner;
 mod system;
 
-pub use cache::{fingerprint64, job_fingerprint, job_key, RunCache, RunCacheStats};
+pub use cache::{checkpoint_key, fingerprint64, job_fingerprint, job_key, RunCache, RunCacheStats};
 pub use harm::HarmTracker;
 pub use hints::MigrationHints;
 pub use oracle::OracleViolation;
 pub use remap::{GlobalEntry, GlobalRemap, LocalEntry, LocalRemap, LookupResult};
 pub use runner::{
-    run_many, run_one, run_schemes, run_spec_many, run_spec_one, RunJob, RunResult, SpecJob,
-    SpecRunResult,
+    resume_one, run_many, run_one, run_one_with_delta, run_prefix_one, run_schemes, run_spec_many,
+    run_spec_one, RunJob, RunResult, SpecJob, SpecRunResult,
 };
-pub use system::{HarnessReport, System};
+pub use system::{CfgDelta, Checkpoint, HarnessReport, System, SWEEP_WARMUP_FRACTION};
 
 #[cfg(test)]
 mod tests {

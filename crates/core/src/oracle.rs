@@ -87,7 +87,9 @@ impl Shadow {
 }
 
 /// The reference oracle. Owned by [`crate::System`] when harness mode is
-/// enabled via [`crate::System::enable_oracle`].
+/// enabled via [`crate::System::enable_oracle`]. `Clone` lets harness-mode
+/// systems participate in checkpoint forking like ordinary ones.
+#[derive(Clone)]
 pub struct Oracle {
     hosts: usize,
     /// `Ideal` baseline: shared region replicated per host, no coherence.

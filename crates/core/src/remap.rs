@@ -157,6 +157,22 @@ impl GlobalRemap {
         self.cache.stats()
     }
 
+    /// Rebuilds the on-die cache with the geometry from `cfg`, keeping
+    /// the in-memory table (votes, current owners) intact. The new cache
+    /// starts cold — resizing hardware mid-run cannot preserve tags —
+    /// while accumulated hit/miss statistics carry over so end-of-run
+    /// accounting stays monotone. Checkpointed sweeps use this to apply a
+    /// `global_remap_cache_bytes` delta to a warmed simulator.
+    pub fn reconfigure_cache(&mut self, cfg: &PipmConfig) {
+        let lines = (cfg.global_remap_cache_bytes / (2 * GLOBAL_ENTRIES_PER_LINE)).clamp(8, 1 << 24)
+            as usize;
+        let ways = cfg.global_remap_cache_ways.min(lines);
+        let stats = self.cache.stats();
+        self.cache = SetAssoc::new((lines / ways).max(1), ways);
+        self.cache.set_stats(stats);
+        self.hit_latency = cfg.global_remap_cache_latency;
+    }
+
     /// Bytes of CXL DRAM consumed by the in-memory table (2 B/entry over
     /// the touched pages; the paper provisions 0.05% of CXL-DSM size).
     pub fn table_bytes(&self) -> u64 {
@@ -349,6 +365,20 @@ impl LocalRemap {
     /// Cache hit/miss statistics.
     pub fn cache_stats(&self) -> pipm_cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Rebuilds the on-die cache with the geometry from `cfg`, keeping
+    /// the remapping table (entries, in-memory bits, PFN allocator, peaks)
+    /// intact. The new cache starts cold; hit/miss statistics carry over.
+    /// Checkpointed sweeps use this to apply a `local_remap_cache_bytes`
+    /// delta to a warmed simulator.
+    pub fn reconfigure_cache(&mut self, cfg: &PipmConfig) {
+        let entries = (cfg.local_remap_cache_bytes / 4).clamp(8, 1 << 26) as usize;
+        let ways = cfg.local_remap_cache_ways.min(entries);
+        let stats = self.cache.stats();
+        self.cache = SetAssoc::new((entries / ways).max(1), ways);
+        self.cache.set_stats(stats);
+        self.hit_latency = cfg.local_remap_cache_latency;
     }
 }
 

@@ -1,6 +1,6 @@
 //! High-level experiment runner: one call per (workload, scheme) pair.
 
-use crate::system::{HarnessReport, System};
+use crate::system::{CfgDelta, Checkpoint, HarnessReport, System};
 use pipm_types::{SchemeKind, SystemConfig, SystemStats};
 use pipm_workloads::{FuzzSpec, Workload, WorkloadParams};
 
@@ -71,6 +71,67 @@ pub fn run_one(
     let streams = workload.streams(&mut cfg, params);
     let mut sys = System::new(cfg.clone(), scheme);
     let stats = sys.run(streams, params.refs_per_core);
+    RunResult {
+        workload,
+        scheme,
+        stats,
+        cfg,
+    }
+}
+
+/// Runs `workload` under `scheme` until `prefix_refs` total references
+/// (across all cores) have been processed, returning the warmed
+/// [`Checkpoint`]. A parameter sweep forks the checkpoint (via `clone`)
+/// once per point and resumes each fork under its own [`CfgDelta`],
+/// paying for the shared prefix once — see [`resume_one`].
+pub fn run_prefix_one(
+    workload: Workload,
+    scheme: SchemeKind,
+    mut cfg: SystemConfig,
+    params: &WorkloadParams,
+    prefix_refs: u64,
+) -> Checkpoint {
+    let streams = workload.streams(&mut cfg, params);
+    let sys = System::new(cfg, scheme);
+    sys.run_prefix(streams, params.refs_per_core, prefix_refs)
+}
+
+/// Resumes a (typically forked) checkpoint under `delta`, packaging the
+/// statistics as a [`RunResult`] whose `cfg` reflects the delta.
+pub fn resume_one(
+    workload: Workload,
+    scheme: SchemeKind,
+    checkpoint: Checkpoint,
+    delta: &CfgDelta,
+) -> RunResult {
+    let mut cfg = checkpoint.config().clone();
+    delta.apply_to(&mut cfg);
+    let stats = checkpoint.resume_with(delta);
+    RunResult {
+        workload,
+        scheme,
+        stats,
+        cfg,
+    }
+}
+
+/// The unforked reference for checkpointed sweeps: one uninterrupted
+/// simulation that applies `delta` inline once `delta_at` total references
+/// have been processed. Must be bit-identical to [`run_prefix_one`] +
+/// [`resume_one`] over the same arguments (asserted by
+/// `tests/checkpoint.rs`).
+pub fn run_one_with_delta(
+    workload: Workload,
+    scheme: SchemeKind,
+    mut cfg: SystemConfig,
+    params: &WorkloadParams,
+    delta_at: u64,
+    delta: &CfgDelta,
+) -> RunResult {
+    let streams = workload.streams(&mut cfg, params);
+    let mut sys = System::new(cfg.clone(), scheme);
+    let stats = sys.run_with_delta(streams, params.refs_per_core, delta_at, delta);
+    delta.apply_to(&mut cfg);
     RunResult {
         workload,
         scheme,

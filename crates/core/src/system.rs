@@ -53,6 +53,7 @@ struct L1Meta {
 }
 
 /// Per-host hardware state.
+#[derive(Clone)]
 struct Host {
     l1: Vec<SetAssoc<LineAddr, L1Meta>>,
     llc: SetAssoc<LineAddr, LlcMeta>,
@@ -65,6 +66,7 @@ struct Host {
 }
 
 /// State specific to the active scheme.
+#[derive(Clone)]
 enum SchemeState {
     /// Native CXL-DSM: no migration.
     Native,
@@ -83,6 +85,7 @@ enum SchemeState {
     },
 }
 
+#[derive(Clone)]
 struct KernelState {
     policy: Box<dyn HotnessPolicy>,
     next_interval: Cycle,
@@ -109,6 +112,11 @@ struct KernelState {
 /// let stats = sys.run(streams, params.refs_per_core);
 /// assert!(stats.exec_cycles() > 0);
 /// ```
+///
+/// `Clone` deep-copies the entire simulator — every cache, DRAM queue,
+/// directory, remapping structure, and policy — which is what lets a
+/// [`Checkpoint`] fork one warmed prefix into many parameter points.
+#[derive(Clone)]
 pub struct System {
     cfg: SystemConfig,
     kind: SchemeKind,
@@ -664,46 +672,145 @@ impl System {
     /// # Panics
     ///
     /// Panics if the stream count does not match the configuration.
-    pub fn run(
+    pub fn run(&mut self, streams: Vec<Box<dyn AccessStream>>, refs_per_core: u64) -> SystemStats {
+        let mut rs = self.begin_run(streams, refs_per_core);
+        self.drive(&mut rs, u64::MAX);
+        self.finish()
+    }
+
+    /// Runs with a late-binding configuration delta: simulates normally,
+    /// applies `delta` once `delta_at` total references have been
+    /// processed, and continues to completion. This is the unforked
+    /// reference for checkpointed sweeps — [`System::run_prefix`] +
+    /// [`Checkpoint::resume_with`] over the same `(streams, delta_at,
+    /// delta)` must produce byte-identical statistics.
+    pub fn run_with_delta(
         &mut self,
-        mut streams: Vec<Box<dyn AccessStream>>,
+        streams: Vec<Box<dyn AccessStream>>,
         refs_per_core: u64,
+        delta_at: u64,
+        delta: &CfgDelta,
     ) -> SystemStats {
+        let mut rs = self.begin_run(streams, refs_per_core);
+        self.drive(&mut rs, delta_at);
+        self.apply_delta(delta);
+        self.drive(&mut rs, u64::MAX);
+        self.finish()
+    }
+
+    /// Simulates until `prefix_refs` total references (across all cores)
+    /// have been processed, then freezes the run into a [`Checkpoint`]
+    /// that can be forked into many late-binding parameter points.
+    ///
+    /// Consumes the system: the checkpoint owns it (statistics must not be
+    /// finalized twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count does not match the configuration.
+    pub fn run_prefix(
+        mut self,
+        streams: Vec<Box<dyn AccessStream>>,
+        refs_per_core: u64,
+        prefix_refs: u64,
+    ) -> Checkpoint {
+        let mut rs = self.begin_run(streams, refs_per_core);
+        self.drive(&mut rs, prefix_refs);
+        Checkpoint {
+            system: self,
+            run: rs,
+        }
+    }
+
+    /// Validates the streams and sizes the warm-up window, returning the
+    /// run-loop state (streams plus per-core clock snapshot).
+    fn begin_run(&mut self, streams: Vec<Box<dyn AccessStream>>, refs_per_core: u64) -> RunState {
         assert_eq!(
             streams.len(),
             self.cores.len(),
             "one stream per core required"
         );
-        self.warmup_refs =
-            (self.cfg.warmup_fraction * (refs_per_core * streams.len() as u64) as f64) as u64;
+        // The warm-up window is a fraction of the references the streams
+        // will actually deliver, not of the requested count: a trace file
+        // shorter than `refs_per_core` would otherwise spend most (or all)
+        // of its references inside warm-up and report empty statistics.
+        // Streams without an exact remaining count are assumed to deliver
+        // the full request, which preserves the historical sizing.
+        let requested = refs_per_core * streams.len() as u64;
+        let deliverable: u64 = streams
+            .iter()
+            .map(|s| s.remaining_hint().unwrap_or(refs_per_core))
+            .sum();
+        self.warmup_refs = (self.cfg.warmup_fraction * requested.min(deliverable) as f64) as u64;
+        RunState {
+            streams,
+            clocks: vec![0; self.cores.len()],
+            live: self.cores.len(),
+        }
+    }
+
+    /// Advances the simulation until every stream is exhausted or
+    /// `stop_after` total references have been processed, whichever comes
+    /// first. Stopping early leaves every structure quiescent (between
+    /// references), so the run can be checkpointed and resumed.
+    fn drive(&mut self, rs: &mut RunState, stop_after: u64) {
         // Deterministic global-order advance on (clock, core): always step
         // the core with the lowest clock, ties to the lowest index. A
         // linear argmin over a dense clock array beats a binary heap here —
         // core counts are small (tens), the scan is branch-predictable and
         // allocation-free, and the visit order is identical because
         // `(clock, core)` is a strict total order either way.
-        let mut clocks: Vec<Cycle> = vec![0; streams.len()];
-        let mut live = streams.len();
-        while live > 0 {
+        while rs.live > 0 && self.processed < stop_after {
             let mut ci = 0;
             let mut best = Cycle::MAX;
-            for (i, &c) in clocks.iter().enumerate() {
+            for (i, &c) in rs.clocks.iter().enumerate() {
                 if c < best {
                     best = c;
                     ci = i;
                 }
             }
-            let Some(rec) = streams[ci].next_record() else {
+            let Some(rec) = rs.streams[ci].next_record() else {
                 let stats = &mut self.stats.cores[ci];
                 self.cores[ci].drain(&mut |class, cycles| stats.record_stall(class, cycles));
-                clocks[ci] = Cycle::MAX;
-                live -= 1;
+                rs.clocks[ci] = Cycle::MAX;
+                rs.live -= 1;
                 continue;
             };
             self.step_core(ci, rec);
-            clocks[ci] = self.cores[ci].clock();
+            rs.clocks[ci] = self.cores[ci].clock();
         }
-        self.finish()
+    }
+
+    /// Applies a late-binding configuration delta to a live (typically
+    /// warmed) system. Structures are reconfigured in place: the fabric
+    /// keeps its occupancy horizons, remapping caches are rebuilt cold
+    /// with their tables intact, and the PIPM vote threshold takes effect
+    /// on the next vote (it is read from the live configuration).
+    fn apply_delta(&mut self, delta: &CfgDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        delta.apply_to(&mut self.cfg);
+        self.cfg
+            .validate()
+            .expect("configuration delta produced an invalid configuration");
+        if delta.link_latency_ns.is_some() || delta.link_gbps.is_some() {
+            self.fabric.set_link_params(&self.cfg.cxl);
+        }
+        if delta.local_remap_cache_bytes.is_some() {
+            for h in &mut self.hosts {
+                h.remap.reconfigure_cache(&self.cfg.pipm);
+            }
+        }
+        if delta.global_remap_cache_bytes.is_some() {
+            if let SchemeState::PipmLike { global, .. } = &mut self.scheme {
+                global.reconfigure_cache(&self.cfg.pipm);
+            }
+        }
+        // `migration_threshold` needs no propagation here: the PIPM vote
+        // reads it from `self.cfg` on every shared access. (Kernel schemes
+        // capture policy thresholds at construction; OS-skew's policy
+        // threshold is a build-time parameter, not a sweepable one.)
     }
 
     fn step_core(&mut self, ci: usize, rec: pipm_cpu::TraceRecord) {
@@ -1907,6 +2014,157 @@ impl System {
                 l1.invalidate(line);
             }
         }
+    }
+}
+
+/// Run-loop state threaded through [`System::drive`]: the per-core access
+/// streams plus the dense clock snapshot the argmin scan operates on.
+struct RunState {
+    streams: Vec<Box<dyn AccessStream>>,
+    clocks: Vec<Cycle>,
+    live: usize,
+}
+
+impl RunState {
+    fn fork(&self) -> RunState {
+        RunState {
+            streams: self
+                .streams
+                .iter()
+                .map(|s| {
+                    s.fork()
+                        .expect("checkpointing requires forkable access streams")
+                })
+                .collect(),
+            clocks: self.clocks.clone(),
+            live: self.live,
+        }
+    }
+}
+
+/// The conventional warm-up fraction for checkpointed parameter sweeps:
+/// the shared prefix covers the first two thirds of the trace, so the
+/// checkpoint taken at the warm-up boundary leaves the entire measured
+/// window (the final third) to run under each point's [`CfgDelta`]. Both
+/// the benchmark harness (`pipm-bench`) and the daemon's `whatif` request
+/// (`pipm-serve`) use this split so their checkpoint keys coincide.
+pub const SWEEP_WARMUP_FRACTION: f64 = 2.0 / 3.0;
+
+/// A late-binding configuration delta for checkpointed sweeps: the
+/// parameters a forked [`Checkpoint`] may change before resuming. Each
+/// field overrides the corresponding [`SystemConfig`] entry when `Some`.
+///
+/// Only parameters whose state can be reconfigured on a warmed simulator
+/// are sweepable this way — link timing (the fabric keeps its occupancy),
+/// remapping-cache geometry (caches rebuild cold over intact tables), and
+/// the PIPM vote threshold (read live on every vote). Structural
+/// parameters (host/core counts, cache hierarchy, DRAM geometry) bind at
+/// [`System::new`] and cannot appear in a delta.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct CfgDelta {
+    /// Override for [`pipm_types::CxlConfig::link_latency_ns`].
+    pub link_latency_ns: Option<f64>,
+    /// Override for [`pipm_types::CxlConfig::link_gbps`].
+    pub link_gbps: Option<f64>,
+    /// Override for [`pipm_types::PipmConfig::local_remap_cache_bytes`].
+    pub local_remap_cache_bytes: Option<u64>,
+    /// Override for [`pipm_types::PipmConfig::global_remap_cache_bytes`].
+    pub global_remap_cache_bytes: Option<u64>,
+    /// Override for [`pipm_types::PipmConfig::migration_threshold`].
+    pub migration_threshold: Option<u8>,
+}
+
+impl CfgDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == CfgDelta::default()
+    }
+
+    /// Writes the overrides into `cfg`.
+    pub fn apply_to(&self, cfg: &mut SystemConfig) {
+        if let Some(v) = self.link_latency_ns {
+            cfg.cxl.link_latency_ns = v;
+        }
+        if let Some(v) = self.link_gbps {
+            cfg.cxl.link_gbps = v;
+        }
+        if let Some(v) = self.local_remap_cache_bytes {
+            cfg.pipm.local_remap_cache_bytes = v;
+        }
+        if let Some(v) = self.global_remap_cache_bytes {
+            cfg.pipm.global_remap_cache_bytes = v;
+        }
+        if let Some(v) = self.migration_threshold {
+            cfg.pipm.migration_threshold = v;
+        }
+    }
+}
+
+/// A frozen mid-run simulator: the complete [`System`] state plus each
+/// core's access-stream position, captured between references by
+/// [`System::run_prefix`].
+///
+/// A checkpoint can be resumed directly ([`Checkpoint::resume`]) or forked
+/// ([`Clone`]) into many copies, each resumed under a different
+/// [`CfgDelta`] — a parameter sweep then pays for its shared warmed prefix
+/// once instead of once per point. Resuming is byte-identical to an
+/// uninterrupted run: the same statistics, cycle for cycle.
+pub struct Checkpoint {
+    system: System,
+    run: RunState,
+}
+
+impl Clone for Checkpoint {
+    /// Forks the checkpoint: deep-copies the simulator and re-creates
+    /// every stream at its exact generator position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stream does not support
+    /// [`AccessStream::fork`].
+    fn clone(&self) -> Self {
+        Checkpoint {
+            system: self.system.clone(),
+            run: self.run.fork(),
+        }
+    }
+}
+
+impl Checkpoint {
+    /// Total references processed when the checkpoint was taken.
+    pub fn processed(&self) -> u64 {
+        self.system.processed
+    }
+
+    /// The scheme being simulated.
+    pub fn scheme(&self) -> SchemeKind {
+        self.system.kind
+    }
+
+    /// The configuration in force at the checkpoint.
+    pub fn config(&self) -> &SystemConfig {
+        self.system.config()
+    }
+
+    /// Resumes the run to completion unchanged.
+    pub fn resume(self) -> SystemStats {
+        self.resume_with(&CfgDelta::default())
+    }
+
+    /// Applies `delta` to the warmed simulator, then resumes the run to
+    /// completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta produces an invalid configuration.
+    pub fn resume_with(self, delta: &CfgDelta) -> SystemStats {
+        let Checkpoint {
+            mut system,
+            mut run,
+        } = self;
+        system.apply_delta(delta);
+        system.drive(&mut run, u64::MAX);
+        system.finish()
     }
 }
 

@@ -66,14 +66,42 @@ impl TraceRecord {
 
 /// A per-core stream of trace records. Implemented by all workload
 /// generators; object-safe so the simulator can hold heterogeneous streams.
-pub trait AccessStream {
+/// Streams are `Send` so checkpointed simulations can be cached and resumed
+/// from worker threads.
+pub trait AccessStream: Send {
     /// Produces the next record, or `None` at end of trace.
     fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// Duplicates the stream *at its current position*, so a forked
+    /// simulation replays exactly the records this stream has not yet
+    /// produced. Returns `None` when the stream cannot be forked (e.g. it
+    /// reads from a non-seekable source); such streams cannot be
+    /// checkpointed.
+    fn fork(&self) -> Option<Box<dyn AccessStream>> {
+        None
+    }
+
+    /// Exact number of records this stream will still produce, when known.
+    /// Used to clamp warm-up windows to what a finite trace can actually
+    /// deliver.
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
-impl<I: Iterator<Item = TraceRecord>> AccessStream for I {
+impl<I: Iterator<Item = TraceRecord> + Clone + Send + 'static> AccessStream for I {
     fn next_record(&mut self) -> Option<TraceRecord> {
         self.next()
+    }
+
+    fn fork(&self) -> Option<Box<dyn AccessStream>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        // Only trust an exact size; a lower bound would under-clamp.
+        let (lo, hi) = self.size_hint();
+        hi.filter(|&h| h == lo).map(|h| h as u64)
     }
 }
 

@@ -2,42 +2,72 @@
 //! drive it as a closed-loop load generator.
 //!
 //! ```text
-//! pipm-client [--addr HOST:PORT] status
+//! pipm-client [--addr HOST:PORT] [--timeout-secs N] status
 //! pipm-client [--addr HOST:PORT] metrics
 //! pipm-client [--addr HOST:PORT] shutdown
 //! pipm-client [--addr HOST:PORT] submit --workload bfs --scheme pipm \
 //!             [--workload ... --scheme ...] [--refs N] [--seed N]
+//! pipm-client [--addr HOST:PORT] whatif --workload bfs --scheme pipm \
+//!             --delta link_latency_ns=100 [--delta ...] [--refs N] [--seed N]
 //! pipm-client [--addr HOST:PORT] load --workload bfs --scheme pipm \
 //!             [--refs N] [--seed N] --clients N --rounds M
 //! ```
 //!
-//! `submit` pretty-prints one row per result; `load` reports throughput,
-//! latency quantiles, and the daemon's cache counters after the run.
+//! `submit` pretty-prints one row per result; `whatif` does the same for
+//! a checkpointed sweep point (every `--delta key=value` joins one
+//! delta object applied to all jobs); `load` reports throughput, latency
+//! quantiles, and the daemon's cache counters after the run.
+//!
+//! The read timeout defaults to 600 s; override with `--timeout-secs N`
+//! or the `PIPM_CLIENT_TIMEOUT_SECS` environment variable (the flag
+//! wins; `0` disables the timeout entirely).
 
-use pipm_serve::client::{load_generate, Client};
+use pipm_serve::client::{load_generate_with_timeout, Client, DEFAULT_READ_TIMEOUT};
 use pipm_serve::json::Json;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     addr: String,
     cmd: String,
     workloads: Vec<String>,
     schemes: Vec<String>,
+    deltas: Vec<String>,
     refs: Option<u64>,
     seed: Option<u64>,
     clients: usize,
     rounds: usize,
+    timeout: Option<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pipm-client [--addr HOST:PORT] <status|metrics|shutdown|submit|load>\n\
-         \x20  submit/load: --workload W --scheme S (repeatable, zipped pairwise)\n\
+        "usage: pipm-client [--addr HOST:PORT] [--timeout-secs N] \
+         <status|metrics|shutdown|submit|whatif|load>\n\
+         \x20  submit/whatif/load: --workload W --scheme S (repeatable, zipped pairwise)\n\
          \x20               [--refs N] [--seed N]\n\
-         \x20  load only:   [--clients N] [--rounds M]"
+         \x20  whatif only: --delta KEY=VALUE (repeatable; late-binding cfg keys)\n\
+         \x20  load only:   [--clients N] [--rounds M]\n\
+         \x20  --timeout-secs N  read timeout (default 600, 0 = none;\n\
+         \x20                    env PIPM_CLIENT_TIMEOUT_SECS)"
     );
     std::process::exit(2);
+}
+
+/// Resolves the read timeout: `--timeout-secs` beats
+/// `PIPM_CLIENT_TIMEOUT_SECS` beats the 600 s default; `0` means no
+/// timeout at all (block until the daemon answers).
+fn resolve_timeout(flag: Option<u64>) -> Option<Duration> {
+    let secs = flag.or_else(|| {
+        std::env::var("PIPM_CLIENT_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    });
+    match secs {
+        None => Some(DEFAULT_READ_TIMEOUT),
+        Some(0) => None,
+        Some(s) => Some(Duration::from_secs(s)),
+    }
 }
 
 fn parse_args() -> Args {
@@ -46,11 +76,14 @@ fn parse_args() -> Args {
         cmd: String::new(),
         workloads: Vec::new(),
         schemes: Vec::new(),
+        deltas: Vec::new(),
         refs: None,
         seed: None,
         clients: 4,
         rounds: 8,
+        timeout: None,
     };
+    let mut timeout_flag: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> String {
@@ -63,10 +96,14 @@ fn parse_args() -> Args {
             "--addr" => parsed.addr = value("--addr"),
             "--workload" => parsed.workloads.push(value("--workload")),
             "--scheme" => parsed.schemes.push(value("--scheme")),
+            "--delta" => parsed.deltas.push(value("--delta")),
             "--refs" => parsed.refs = Some(parse_num(&value("--refs"), "--refs")),
             "--seed" => parsed.seed = Some(parse_num(&value("--seed"), "--seed")),
             "--clients" => parsed.clients = parse_num(&value("--clients"), "--clients"),
             "--rounds" => parsed.rounds = parse_num(&value("--rounds"), "--rounds"),
+            "--timeout-secs" => {
+                timeout_flag = Some(parse_num(&value("--timeout-secs"), "--timeout-secs"));
+            }
             "--help" | "-h" => usage(),
             cmd if parsed.cmd.is_empty() && !cmd.starts_with('-') => parsed.cmd = cmd.to_string(),
             other => {
@@ -78,6 +115,7 @@ fn parse_args() -> Args {
     if parsed.cmd.is_empty() {
         usage()
     }
+    parsed.timeout = resolve_timeout(timeout_flag);
     parsed
 }
 
@@ -88,11 +126,42 @@ fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> T {
     })
 }
 
-/// Builds the `submit` line from `--workload/--scheme` pairs (zipped;
-/// a single scheme fans out across all workloads and vice versa).
-fn submit_line(args: &Args) -> String {
+/// Parses the repeatable `--delta KEY=VALUE` flags into one JSON delta
+/// object (numbers only — every late-binding cfg key is numeric).
+fn delta_object(args: &Args) -> Json {
+    if args.deltas.is_empty() {
+        eprintln!("error: whatif needs at least one --delta KEY=VALUE");
+        usage()
+    }
+    let fields = args
+        .deltas
+        .iter()
+        .map(|spec| {
+            let Some((key, raw)) = spec.split_once('=') else {
+                eprintln!("error: --delta expects KEY=VALUE, got `{spec}`");
+                usage()
+            };
+            let value = if let Ok(n) = raw.parse::<u64>() {
+                Json::UInt(n)
+            } else if let Ok(f) = raw.parse::<f64>() {
+                Json::Num(f)
+            } else {
+                eprintln!("error: --delta {key} expects a numeric value, got `{raw}`");
+                usage()
+            };
+            (key.to_string(), value)
+        })
+        .collect();
+    Json::Obj(fields)
+}
+
+/// Builds the `submit`/`whatif` line from `--workload/--scheme` pairs
+/// (zipped; a single scheme fans out across all workloads and vice
+/// versa). A `Some(delta)` turns the batch into a `whatif` request with
+/// that delta on every job.
+fn submit_line(args: &Args, delta: Option<Json>) -> String {
     if args.workloads.is_empty() || args.schemes.is_empty() {
-        eprintln!("error: submit/load need at least one --workload and one --scheme");
+        eprintln!("error: submit/whatif/load need at least one --workload and one --scheme");
         usage()
     }
     let pairs: Vec<(String, String)> = if args.schemes.len() == 1 {
@@ -128,11 +197,15 @@ fn submit_line(args: &Args) -> String {
             if let Some(seed) = args.seed {
                 fields.push(("seed".to_string(), Json::UInt(seed)));
             }
+            if let Some(d) = &delta {
+                fields.push(("delta".to_string(), d.clone()));
+            }
             Json::Obj(fields)
         })
         .collect();
+    let cmd = if delta.is_some() { "whatif" } else { "submit" };
     Json::Obj(vec![
-        ("cmd".to_string(), Json::Str("submit".to_string())),
+        ("cmd".to_string(), Json::Str(cmd.to_string())),
         ("jobs".to_string(), Json::Arr(jobs)),
     ])
     .encode()
@@ -163,8 +236,8 @@ fn print_results(response: &Json) {
     }
 }
 
-fn print_metrics(addr: &str) -> std::io::Result<()> {
-    let mut client = Client::connect(addr)?;
+fn print_metrics(addr: &str, timeout: Option<Duration>) -> std::io::Result<()> {
+    let mut client = Client::connect_with_timeout(addr, timeout)?;
     let m = client.request_json(r#"{"cmd":"metrics"}"#)?;
     let u = |k: &str| m.get(k).and_then(Json::as_u64).unwrap_or(0);
     println!(
@@ -174,6 +247,14 @@ fn print_metrics(addr: &str) -> std::io::Result<()> {
         u("cache_inflight_dedup"),
         u("cache_entries"),
         u("cache_evictions"),
+    );
+    println!(
+        "checkpoints: hits={} misses={} inflight_dedup={} entries={} evictions={}",
+        u("ckpt_cache_hits"),
+        u("ckpt_cache_misses"),
+        u("ckpt_cache_inflight_dedup"),
+        u("ckpt_cache_entries"),
+        u("ckpt_cache_evictions"),
     );
     println!(
         "queue: depth={}/{}  jobs: admitted={} completed={} failed={}",
@@ -196,19 +277,20 @@ fn run() -> std::io::Result<bool> {
     let args = parse_args();
     match args.cmd.as_str() {
         "status" | "shutdown" => {
-            let mut client = Client::connect(&args.addr)?;
+            let mut client = Client::connect_with_timeout(&args.addr, args.timeout)?;
             let line = format!(r#"{{"cmd":"{}"}}"#, args.cmd);
             let response = client.request_json(&line)?;
             println!("{}", response.encode());
             Ok(response.get("ok").and_then(Json::as_bool) == Some(true))
         }
         "metrics" => {
-            print_metrics(&args.addr)?;
+            print_metrics(&args.addr, args.timeout)?;
             Ok(true)
         }
-        "submit" => {
-            let line = submit_line(&args);
-            let mut client = Client::connect(&args.addr)?;
+        "submit" | "whatif" => {
+            let delta = (args.cmd == "whatif").then(|| delta_object(&args));
+            let line = submit_line(&args, delta);
+            let mut client = Client::connect_with_timeout(&args.addr, args.timeout)?;
             let start = Instant::now();
             let response = client.request_json(&line)?;
             let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
@@ -221,9 +303,15 @@ fn run() -> std::io::Result<bool> {
             Ok(ok)
         }
         "load" => {
-            let line = submit_line(&args);
+            let line = submit_line(&args, None);
             let start = Instant::now();
-            let report = load_generate(&args.addr, &line, args.clients, args.rounds);
+            let report = load_generate_with_timeout(
+                &args.addr,
+                &line,
+                args.clients,
+                args.rounds,
+                args.timeout,
+            );
             let elapsed = start.elapsed();
             let total = report.ok_rounds + report.error_rounds + report.io_errors;
             println!(
@@ -241,7 +329,7 @@ fn run() -> std::io::Result<bool> {
                 report.latency_quantile(0.90).as_millis(),
                 report.latency_quantile(0.99).as_millis(),
             );
-            print_metrics(&args.addr)?;
+            print_metrics(&args.addr, args.timeout)?;
             Ok(total > 0 && report.ok_rounds == total)
         }
         other => {

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! pipm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-//!            [--cache-capacity N] [--max-batch-jobs N]
-//!            [--max-refs-per-core N] [--read-timeout-secs N]
+//!            [--cache-capacity N] [--ckpt-cache-capacity N]
+//!            [--max-batch-jobs N] [--max-refs-per-core N]
+//!            [--read-timeout-secs N]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for that
@@ -16,8 +17,9 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: pipm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
-         \x20                 [--cache-capacity N] [--max-batch-jobs N]\n\
-         \x20                 [--max-refs-per-core N] [--read-timeout-secs N]"
+         \x20                 [--cache-capacity N] [--ckpt-cache-capacity N]\n\
+         \x20                 [--max-batch-jobs N] [--max-refs-per-core N]\n\
+         \x20                 [--read-timeout-secs N]"
     );
     std::process::exit(2);
 }
@@ -43,6 +45,10 @@ fn parse_args() -> ServerConfig {
             }
             "--cache-capacity" => {
                 cfg.cache_capacity = parse_num(&value("--cache-capacity"), "--cache-capacity")
+            }
+            "--ckpt-cache-capacity" => {
+                cfg.ckpt_cache_capacity =
+                    parse_num(&value("--ckpt-cache-capacity"), "--ckpt-cache-capacity")
             }
             "--max-batch-jobs" => {
                 cfg.limits.max_batch_jobs =

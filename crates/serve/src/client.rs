@@ -17,16 +17,38 @@ pub struct Client {
     writer: TcpStream,
 }
 
+/// Read timeout [`Client::connect`] applies when the caller does not
+/// choose one: long enough for a cold full-scale batch, short enough
+/// that a wedged daemon does not hang a script forever.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(600);
+
 impl Client {
-    /// Connects to `addr` (e.g. `127.0.0.1:7457`).
+    /// Connects to `addr` (e.g. `127.0.0.1:7457`) with the
+    /// [`DEFAULT_READ_TIMEOUT`].
     ///
     /// # Errors
     ///
     /// Propagates connection and socket-option failures.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// Connects with an explicit read timeout; `None` blocks forever.
+    /// The `pipm-client` binary wires `--timeout-secs` (or the
+    /// `PIPM_CLIENT_TIMEOUT_SECS` environment variable) through here, so
+    /// batches slower than the default 600 s no longer kill the client
+    /// mid-wait, and impatient scripts can fail fast.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and socket-option failures.
+    pub fn connect_with_timeout(
+        addr: &str,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        stream.set_read_timeout(read_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
@@ -108,13 +130,31 @@ impl LoadReport {
 /// daemon's run cache: the first completions are misses or in-flight
 /// waits, the rest are hits.
 pub fn load_generate(addr: &str, request_line: &str, clients: usize, rounds: usize) -> LoadReport {
+    load_generate_with_timeout(
+        addr,
+        request_line,
+        clients,
+        rounds,
+        Some(DEFAULT_READ_TIMEOUT),
+    )
+}
+
+/// [`load_generate`] with an explicit per-connection read timeout
+/// (`None` blocks forever); a timed-out round counts as an I/O error.
+pub fn load_generate_with_timeout(
+    addr: &str,
+    request_line: &str,
+    clients: usize,
+    rounds: usize,
+    read_timeout: Option<Duration>,
+) -> LoadReport {
     let handles: Vec<_> = (0..clients.max(1))
         .map(|_| {
             let addr = addr.to_string();
             let line = request_line.to_string();
             thread::spawn(move || {
                 let mut report = LoadReport::default();
-                let mut client = match Client::connect(&addr) {
+                let mut client = match Client::connect_with_timeout(&addr, read_timeout) {
                     Ok(c) => c,
                     Err(_) => {
                         report.io_errors += rounds as u64;
@@ -136,7 +176,7 @@ pub fn load_generate(addr: &str, request_line: &str, clients: usize, rounds: usi
                             report.io_errors += 1;
                             // The daemon drops a connection after some
                             // rejections (oversized lines); reconnect.
-                            match Client::connect(&addr) {
+                            match Client::connect_with_timeout(&addr, read_timeout) {
                                 Ok(c) => client = c,
                                 Err(_) => {
                                     report.io_errors += rounds as u64;
@@ -157,4 +197,44 @@ pub fn load_generate(addr: &str, request_line: &str, clients: usize, rounds: usi
         }
     }
     total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    // Regression test: the read timeout used to be hardcoded to 600 s
+    // inside `connect`, so a silent daemon wedged every caller for ten
+    // minutes with no way to opt out. The timeout is now configurable.
+    #[test]
+    fn read_timeout_is_configurable_and_defaults_to_600s() {
+        // A listener that never accepts: connections complete the TCP
+        // handshake into the backlog, then never see a response byte.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+
+        let defaulted = Client::connect(&addr).unwrap();
+        assert_eq!(
+            defaulted.reader.get_ref().read_timeout().unwrap(),
+            Some(DEFAULT_READ_TIMEOUT),
+            "connect() must keep the historical 600s default"
+        );
+
+        let mut impatient =
+            Client::connect_with_timeout(&addr, Some(Duration::from_millis(50))).unwrap();
+        let start = Instant::now();
+        let err = impatient.request(r#"{"cmd":"status"}"#).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a read timeout, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "a 50ms timeout must not wait anywhere near the 600s default"
+        );
+    }
 }

@@ -5,10 +5,24 @@
 //! ```json
 //! {"cmd":"submit","jobs":[{"workload":"BFS","scheme":"PIPM",
 //!   "refs_per_core":20000,"seed":20823,"cfg":{"link_latency_ns":100}}]}
+//! {"cmd":"whatif","jobs":[{"workload":"BFS","scheme":"PIPM",
+//!   "delta":{"link_latency_ns":100}}]}
 //! {"cmd":"status"}
 //! {"cmd":"metrics"}
 //! {"cmd":"shutdown"}
 //! ```
+//!
+//! `whatif` is the checkpointed-sweep form of `submit`: each job names a
+//! base configuration (same fields as `submit`, with `warmup_fraction`
+//! pinned to [`SWEEP_WARMUP_FRACTION`](pipm_core::SWEEP_WARMUP_FRACTION))
+//! plus a required `delta` object restricted to the late-binding
+//! [`CfgDelta`] keys ([`DELTA_KEYS`]). The daemon simulates the shared
+//! warmed prefix once per base — cached as a
+//! [`Checkpoint`](pipm_core::Checkpoint) keyed by
+//! [`checkpoint_key`](pipm_core::checkpoint_key) — and only the measured
+//! tail per delta, so a K-point sweep against one base costs
+//! O(prefix + K·tail) instead of O(K·run). Results are byte-identical to
+//! the equivalent unforked full run under the same split.
 //!
 //! Responses are single-line JSON objects with an `ok` field. Failures
 //! are *structured*: `{"ok":false,"error":{"kind":...,"detail":...}}`
@@ -20,7 +34,9 @@
 //! deterministic, and field order is fixed).
 
 use crate::json::Json;
-use pipm_core::{fingerprint64, job_key, RunResult};
+use pipm_core::{
+    checkpoint_key, fingerprint64, job_key, CfgDelta, RunResult, SWEEP_WARMUP_FRACTION,
+};
 use pipm_types::{AccessClass, SchemeKind, SystemConfig};
 use pipm_workloads::{Workload, WorkloadParams};
 
@@ -58,8 +74,28 @@ pub struct Job {
     pub cfg: SystemConfig,
     /// Per-run parameters.
     pub params: WorkloadParams,
-    /// Canonical content address ([`job_key`]).
+    /// Canonical content address: [`job_key`] for a plain `submit` job,
+    /// or the `sweep-v1|…` namespaced key for a `whatif` job (a prefix
+    /// under the base cfg plus a tail under the delta is *not* the same
+    /// run as a full simulation under the delta'd cfg, so the two
+    /// namespaces must never alias).
     pub key: String,
+    /// `Some` for a `whatif` job: resume a forked checkpoint under a
+    /// [`CfgDelta`] instead of running from scratch.
+    pub whatif: Option<WhatifSpec>,
+}
+
+/// The checkpointed-sweep part of a `whatif` [`Job`].
+#[derive(Clone, Debug)]
+pub struct WhatifSpec {
+    /// Late-binding overrides applied to the forked checkpoint.
+    pub delta: CfgDelta,
+    /// Fork point, in delivered references (the warm-up boundary).
+    pub prefix_refs: u64,
+    /// Content address of the shared warmed prefix
+    /// ([`checkpoint_key`]): jobs with the same base share one prefix
+    /// simulation.
+    pub ckpt_key: String,
 }
 
 /// A parsed request.
@@ -161,39 +197,48 @@ pub fn parse_request(line: &str, limits: &RequestLimits) -> Result<Request, Prot
         "status" => Ok(Request::Status),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
-        "submit" => {
-            let jobs = root
-                .get("jobs")
-                .and_then(Json::as_arr)
-                .ok_or_else(|| ProtoError::new(kind::MALFORMED, "submit needs a `jobs` array"))?;
-            if jobs.is_empty() {
-                return Err(ProtoError::new(kind::BAD_REQUEST, "empty job batch"));
-            }
-            if jobs.len() > limits.max_batch_jobs {
-                return Err(ProtoError {
-                    kind: kind::LIMIT_EXCEEDED,
-                    detail: format!(
-                        "batch of {} jobs exceeds the {}-job limit",
-                        jobs.len(),
-                        limits.max_batch_jobs
-                    ),
-                    extra: vec![(
-                        "max_batch_jobs".into(),
-                        Json::UInt(limits.max_batch_jobs as u64),
-                    )],
-                });
-            }
-            jobs.iter()
-                .enumerate()
-                .map(|(i, j)| parse_job(i, j, limits))
-                .collect::<Result<Vec<_>, _>>()
-                .map(Request::Submit)
-        }
+        "submit" => parse_batch(&root, limits, false).map(Request::Submit),
+        "whatif" => parse_batch(&root, limits, true).map(Request::Submit),
         other => Err(ProtoError::new(
             kind::MALFORMED,
             format!("unknown cmd `{other}`"),
         )),
     }
+}
+
+fn parse_batch(root: &Json, limits: &RequestLimits, whatif: bool) -> Result<Vec<Job>, ProtoError> {
+    let cmd = if whatif { "whatif" } else { "submit" };
+    let jobs = root
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::new(kind::MALFORMED, format!("{cmd} needs a `jobs` array")))?;
+    if jobs.is_empty() {
+        return Err(ProtoError::new(kind::BAD_REQUEST, "empty job batch"));
+    }
+    if jobs.len() > limits.max_batch_jobs {
+        return Err(ProtoError {
+            kind: kind::LIMIT_EXCEEDED,
+            detail: format!(
+                "batch of {} jobs exceeds the {}-job limit",
+                jobs.len(),
+                limits.max_batch_jobs
+            ),
+            extra: vec![(
+                "max_batch_jobs".into(),
+                Json::UInt(limits.max_batch_jobs as u64),
+            )],
+        });
+    }
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let mut job = parse_job(i, j, limits)?;
+            if whatif {
+                attach_whatif(&mut job, i, j)?;
+            }
+            Ok(job)
+        })
+        .collect()
 }
 
 fn parse_job(index: usize, job: &Json, limits: &RequestLimits) -> Result<Job, ProtoError> {
@@ -285,7 +330,52 @@ fn parse_job(index: usize, job: &Json, limits: &RequestLimits) -> Result<Job, Pr
         cfg,
         params,
         key,
+        whatif: None,
     })
+}
+
+/// Upgrades a parsed `submit`-shaped job into a `whatif` job: pins the
+/// sweep warm-up split, parses and validates the required `delta`
+/// object, and rewrites the cache key into the `sweep-v1|` namespace.
+fn attach_whatif(job: &mut Job, index: usize, raw: &Json) -> Result<(), ProtoError> {
+    let delta_json = raw.get("delta").ok_or_else(|| {
+        ProtoError::new(
+            kind::BAD_REQUEST,
+            format!("job #{index}: whatif needs a `delta` object"),
+        )
+    })?;
+    let fields = delta_json.as_obj().ok_or_else(|| {
+        ProtoError::new(
+            kind::BAD_REQUEST,
+            format!("job #{index}: `delta` must be an object"),
+        )
+    })?;
+    let mut delta = CfgDelta::default();
+    for (key, value) in fields {
+        apply_delta_override(&job.cfg, &mut delta, key, value)
+            .map_err(|e| ProtoError::new(e.kind, format!("job #{index}: {}", e.detail)))?;
+    }
+    job.cfg.warmup_fraction = SWEEP_WARMUP_FRACTION;
+    let mut tail_cfg = job.cfg.clone();
+    delta.apply_to(&mut tail_cfg);
+    tail_cfg.validate().map_err(|e| {
+        ProtoError::new(
+            kind::BAD_REQUEST,
+            format!("job #{index}: invalid delta'd cfg: {e}"),
+        )
+    })?;
+    let prefix_refs = (job.cfg.warmup_fraction
+        * (job.params.refs_per_core * job.cfg.total_cores() as u64) as f64)
+        as u64;
+    let base_key = job_key(job.workload, job.scheme, &job.cfg, &job.params);
+    let ckpt_key = checkpoint_key(job.workload, job.scheme, &job.cfg, &job.params, prefix_refs);
+    job.key = format!("sweep-v1|{base_key}|prefix={prefix_refs}|delta={delta:?}");
+    job.whatif = Some(WhatifSpec {
+        delta,
+        prefix_refs,
+        ckpt_key,
+    });
+    Ok(())
 }
 
 /// The `cfg` override keys `submit` accepts, with their targets.
@@ -302,60 +392,109 @@ pub const CFG_KEYS: [&str; 10] = [
     "local_capacity_bytes",
 ];
 
-fn apply_override(cfg: &mut SystemConfig, key: &str, value: &Json) -> Result<(), ProtoError> {
-    let want_u64 = || {
-        value.as_u64().ok_or_else(|| {
+/// The `delta` keys `whatif` accepts — exactly the late-binding
+/// [`CfgDelta`] fields (a subset of [`CFG_KEYS`]; structural parameters
+/// bind at system construction and cannot change mid-run).
+pub const DELTA_KEYS: [&str; 5] = [
+    "link_latency_ns",
+    "link_gbps",
+    "local_remap_cache_bytes",
+    "global_remap_cache_bytes",
+    "migration_threshold",
+];
+
+fn want_u64(key: &str, value: &Json) -> Result<u64, ProtoError> {
+    value.as_u64().ok_or_else(|| {
+        ProtoError::new(
+            kind::BAD_REQUEST,
+            format!("cfg.{key} must be a non-negative integer"),
+        )
+    })
+}
+
+fn want_f64(key: &str, value: &Json) -> Result<f64, ProtoError> {
+    value
+        .as_f64()
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .ok_or_else(|| {
             ProtoError::new(
                 kind::BAD_REQUEST,
-                format!("cfg.{key} must be a non-negative integer"),
+                format!("cfg.{key} must be a positive number"),
             )
         })
-    };
-    let want_f64 = || {
-        value
-            .as_f64()
-            .filter(|f| f.is_finite() && *f > 0.0)
-            .ok_or_else(|| {
-                ProtoError::new(
-                    kind::BAD_REQUEST,
-                    format!("cfg.{key} must be a positive number"),
-                )
-            })
-    };
-    // Remap cache geometries must stay power-of-two (the set math in
-    // pipm-core asserts it); reject early with a structured error
-    // instead of letting a worker hit the assertion.
-    let want_pow2 = || {
-        let v = want_u64()?;
-        if v.is_power_of_two() && v >= 1024 {
-            Ok(v)
-        } else {
-            Err(ProtoError::new(
-                kind::BAD_REQUEST,
-                format!("cfg.{key} must be a power of two ≥ 1024, got {v}"),
-            ))
-        }
-    };
+}
+
+// Remap cache geometries must stay power-of-two (the set math in
+// pipm-core asserts it); reject early with a structured error instead
+// of letting a worker hit the assertion.
+fn want_pow2(key: &str, value: &Json) -> Result<u64, ProtoError> {
+    let v = want_u64(key, value)?;
+    if v.is_power_of_two() && v >= 1024 {
+        Ok(v)
+    } else {
+        Err(ProtoError::new(
+            kind::BAD_REQUEST,
+            format!("cfg.{key} must be a power of two ≥ 1024, got {v}"),
+        ))
+    }
+}
+
+fn want_threshold(cfg: &SystemConfig, key: &str, value: &Json) -> Result<u8, ProtoError> {
+    let v = want_u64(key, value)?;
+    if v == 0 || v > u64::from(cfg.pipm.local_counter_max) {
+        return Err(ProtoError::new(
+            kind::BAD_REQUEST,
+            format!(
+                "cfg.{key} must be in 1..={}, got {v}",
+                cfg.pipm.local_counter_max
+            ),
+        ));
+    }
+    Ok(v as u8)
+}
+
+fn apply_delta_override(
+    cfg: &SystemConfig,
+    delta: &mut CfgDelta,
+    key: &str,
+    value: &Json,
+) -> Result<(), ProtoError> {
     match key {
-        "hosts" => cfg.hosts = want_u64()? as usize,
-        "cores_per_host" => cfg.cores_per_host = want_u64()? as usize,
-        "link_latency_ns" => cfg.cxl.link_latency_ns = want_f64()?,
-        "link_gbps" => cfg.cxl.link_gbps = want_f64()?,
-        "migration_threshold" => {
-            let v = want_u64()?;
-            if v == 0 || v > u64::from(cfg.pipm.local_counter_max) {
-                return Err(ProtoError::new(
-                    kind::BAD_REQUEST,
-                    format!(
-                        "cfg.migration_threshold must be in 1..={}, got {v}",
-                        cfg.pipm.local_counter_max
+        "link_latency_ns" => delta.link_latency_ns = Some(want_f64(key, value)?),
+        "link_gbps" => delta.link_gbps = Some(want_f64(key, value)?),
+        "local_remap_cache_bytes" => delta.local_remap_cache_bytes = Some(want_pow2(key, value)?),
+        "global_remap_cache_bytes" => delta.global_remap_cache_bytes = Some(want_pow2(key, value)?),
+        "migration_threshold" => delta.migration_threshold = Some(want_threshold(cfg, key, value)?),
+        _ => {
+            return Err(ProtoError {
+                kind: kind::UNKNOWN_CFG_KEY,
+                detail: format!("unsupported delta key `{key}`"),
+                extra: vec![(
+                    "supported".into(),
+                    Json::Arr(
+                        DELTA_KEYS
+                            .iter()
+                            .map(|k| Json::Str((*k).to_string()))
+                            .collect(),
                     ),
-                ));
-            }
-            cfg.pipm.migration_threshold = v as u8;
+                )],
+            })
+        }
+    }
+    Ok(())
+}
+
+fn apply_override(cfg: &mut SystemConfig, key: &str, value: &Json) -> Result<(), ProtoError> {
+    match key {
+        "hosts" => cfg.hosts = want_u64(key, value)? as usize,
+        "cores_per_host" => cfg.cores_per_host = want_u64(key, value)? as usize,
+        "link_latency_ns" => cfg.cxl.link_latency_ns = want_f64(key, value)?,
+        "link_gbps" => cfg.cxl.link_gbps = want_f64(key, value)?,
+        "migration_threshold" => {
+            cfg.pipm.migration_threshold = want_threshold(cfg, key, value)?;
         }
         "migration_interval_cycles" => {
-            let v = want_u64()?;
+            let v = want_u64(key, value)?;
             if v == 0 {
                 return Err(ProtoError::new(
                     kind::BAD_REQUEST,
@@ -364,10 +503,10 @@ fn apply_override(cfg: &mut SystemConfig, key: &str, value: &Json) -> Result<(),
             }
             cfg.migration_interval_cycles = v;
         }
-        "local_remap_cache_bytes" => cfg.pipm.local_remap_cache_bytes = want_pow2()?,
-        "global_remap_cache_bytes" => cfg.pipm.global_remap_cache_bytes = want_pow2()?,
+        "local_remap_cache_bytes" => cfg.pipm.local_remap_cache_bytes = want_pow2(key, value)?,
+        "global_remap_cache_bytes" => cfg.pipm.global_remap_cache_bytes = want_pow2(key, value)?,
         "sector_lines" => {
-            let v = want_u64()?;
+            let v = want_u64(key, value)?;
             if v == 0 || v > 64 {
                 return Err(ProtoError::new(
                     kind::BAD_REQUEST,
@@ -377,7 +516,7 @@ fn apply_override(cfg: &mut SystemConfig, key: &str, value: &Json) -> Result<(),
             cfg.pipm.sector_lines = v as u32;
         }
         "local_capacity_bytes" => {
-            let v = want_u64()?;
+            let v = want_u64(key, value)?;
             if v < (1 << 20) {
                 return Err(ProtoError::new(
                     kind::BAD_REQUEST,
@@ -410,7 +549,13 @@ fn apply_override(cfg: &mut SystemConfig, key: &str, value: &Json) -> Result<(),
 /// so the same job always encodes to the same bytes — whether computed
 /// cold, replayed from the run cache, or produced by a direct
 /// [`run_one`](pipm_core::run_one) call.
-pub fn encode_result(r: &RunResult, params: &WorkloadParams) -> Json {
+///
+/// `key` is the job's canonical content address ([`Job::key`]) and is
+/// what gets fingerprinted. It must come from the caller: deriving it
+/// here from the result's (delta-applied) cfg would make a `whatif`
+/// result carry the same fingerprint as a plain full run under that
+/// cfg, despite different statistics.
+pub fn encode_result(r: &RunResult, params: &WorkloadParams, key: &str) -> Json {
     let s = &r.stats;
     let lr_total = s.local_remap_hits + s.local_remap_misses;
     let gr_total = s.global_remap_hits + s.global_remap_misses;
@@ -419,7 +564,7 @@ pub fn encode_result(r: &RunResult, params: &WorkloadParams) -> Json {
         .iter()
         .map(|c| c.class_stall[AccessClass::InterHost.index()])
         .sum();
-    let fingerprint = fingerprint64(&job_key(r.workload, r.scheme, &r.cfg, params));
+    let fingerprint = fingerprint64(key);
     Json::Obj(vec![
         ("workload".into(), Json::Str(r.workload.label().into())),
         ("scheme".into(), Json::Str(r.scheme.label().into())),
@@ -576,6 +721,73 @@ mod tests {
     }
 
     #[test]
+    fn whatif_parses_and_namespaces_the_key() {
+        let r = parse_request(
+            r#"{"cmd":"whatif","jobs":[{"workload":"bfs","scheme":"pipm","delta":{"link_latency_ns":100,"migration_threshold":4}}]}"#,
+            &limits(),
+        )
+        .unwrap();
+        let Request::Submit(jobs) = r else {
+            panic!("expected submit")
+        };
+        let job = &jobs[0];
+        let w = job.whatif.as_ref().expect("whatif spec");
+        assert_eq!(w.delta.link_latency_ns, Some(100.0));
+        assert_eq!(w.delta.migration_threshold, Some(4));
+        assert_eq!(w.delta.link_gbps, None);
+        assert!((job.cfg.warmup_fraction - SWEEP_WARMUP_FRACTION).abs() < 1e-12);
+        // The base cfg is untouched by the delta (it binds at resume).
+        assert_ne!(job.cfg.cxl.link_latency_ns, 100.0);
+        // Keys live in their own namespaces and embed the fork point.
+        let expect_prefix = (job.cfg.warmup_fraction
+            * (job.params.refs_per_core * job.cfg.total_cores() as u64) as f64)
+            as u64;
+        assert_eq!(w.prefix_refs, expect_prefix);
+        assert!(job.key.starts_with("sweep-v1|"));
+        assert!(job.key.contains(&format!("prefix={expect_prefix}")));
+        assert!(w.ckpt_key.starts_with("ckpt-v1|"));
+        // A plain submit of the same job must never share the key.
+        let plain = parse_request(
+            r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"pipm"}]}"#,
+            &limits(),
+        )
+        .unwrap();
+        let Request::Submit(plain) = plain else {
+            panic!()
+        };
+        assert_ne!(plain[0].key, job.key);
+    }
+
+    #[test]
+    fn whatif_rejects_bad_deltas() {
+        let cases: [(&str, &str); 4] = [
+            // No delta at all.
+            (
+                r#"{"cmd":"whatif","jobs":[{"workload":"bfs","scheme":"pipm"}]}"#,
+                kind::BAD_REQUEST,
+            ),
+            // Structural parameters cannot late-bind.
+            (
+                r#"{"cmd":"whatif","jobs":[{"workload":"bfs","scheme":"pipm","delta":{"hosts":4}}]}"#,
+                kind::UNKNOWN_CFG_KEY,
+            ),
+            // Value validation matches `cfg` overrides.
+            (
+                r#"{"cmd":"whatif","jobs":[{"workload":"bfs","scheme":"pipm","delta":{"local_remap_cache_bytes":3000}}]}"#,
+                kind::BAD_REQUEST,
+            ),
+            (
+                r#"{"cmd":"whatif","jobs":[{"workload":"bfs","scheme":"pipm","delta":{"migration_threshold":0}}]}"#,
+                kind::BAD_REQUEST,
+            ),
+        ];
+        for (line, want) in cases {
+            let err = parse_request(line, &limits()).unwrap_err();
+            assert_eq!(err.kind, want, "line: {line}");
+        }
+    }
+
+    #[test]
     fn batch_limit_enforced() {
         let job = r#"{"workload":"bfs","scheme":"native"}"#;
         let many = vec![job; limits().max_batch_jobs + 1].join(",");
@@ -596,8 +808,9 @@ mod tests {
             SystemConfig::experiment_scale(),
             &params,
         );
-        let a = encode_result(&r, &params).encode();
-        let b = encode_result(&r, &params).encode();
+        let key = job_key(r.workload, r.scheme, &r.cfg, &params);
+        let a = encode_result(&r, &params, &key).encode();
+        let b = encode_result(&r, &params, &key).encode();
         assert_eq!(a, b);
         let parsed = crate::json::parse(&a).unwrap();
         assert_eq!(parsed.get("workload").unwrap().as_str(), Some("CC"));

@@ -17,7 +17,7 @@ use crate::json::Json;
 use crate::proto::{
     self, encode_batch, encode_result, kind, Job, ProtoError, Request, RequestLimits,
 };
-use pipm_core::{run_one, RunCache, RunResult};
+use pipm_core::{resume_one, run_one, run_prefix_one, Checkpoint, RunCache, RunResult};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,6 +40,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Run-cache capacity (completed entries) before LRU eviction.
     pub cache_capacity: usize,
+    /// Checkpoint-cache capacity for `whatif` requests. Each entry holds
+    /// a full warmed simulator (deep-copied `System` plus stream
+    /// positions), so this is kept far smaller than `cache_capacity`.
+    pub ckpt_cache_capacity: usize,
     /// Per-request validation limits and defaults.
     pub limits: RequestLimits,
     /// Per-connection read timeout; an idle connection is closed.
@@ -55,6 +59,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 256,
             cache_capacity: 1024,
+            ckpt_cache_capacity: 32,
             limits: RequestLimits::default(),
             read_timeout: Duration::from_secs(30),
             max_line_bytes: 1 << 20,
@@ -115,6 +120,10 @@ impl JobSlot {
 struct Shared {
     cfg: ServerConfig,
     cache: RunCache<RunResult>,
+    // Warmed prefixes for `whatif` jobs; cloning an entry out *is* the
+    // fork operation (Checkpoint::clone re-creates every stream at its
+    // exact generator position).
+    ckpt_cache: RunCache<Checkpoint>,
     queue: Mutex<VecDeque<QueuedJob>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -200,14 +209,30 @@ impl Shared {
             // inside the simulator (hostile cfg) releases the in-flight
             // claim and surfaces as a structured `internal` error.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.cache.get_or_compute(&job.key, || {
-                    run_one(job.workload, job.scheme, job.cfg.clone(), &job.params)
+                self.cache.get_or_compute(&job.key, || match &job.whatif {
+                    None => run_one(job.workload, job.scheme, job.cfg.clone(), &job.params),
+                    // A whatif job reruns only the tail: the warmed
+                    // prefix is computed once per base (dedup'd across
+                    // workers by the checkpoint cache) and forked by
+                    // cloning the cached entry out.
+                    Some(w) => {
+                        let ckpt = self.ckpt_cache.get_or_compute(&w.ckpt_key, || {
+                            run_prefix_one(
+                                job.workload,
+                                job.scheme,
+                                job.cfg.clone(),
+                                &job.params,
+                                w.prefix_refs,
+                            )
+                        });
+                        resume_one(job.workload, job.scheme, ckpt, &w.delta)
+                    }
                 })
             }));
             match outcome {
                 Ok(result) => {
                     self.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
-                    slot.fill(Ok(encode_result(&result, &job.params)));
+                    slot.fill(Ok(encode_result(&result, &job.params, &job.key)));
                 }
                 Err(payload) => {
                     self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
@@ -224,6 +249,7 @@ impl Shared {
 
     fn metrics_response(&self) -> String {
         let cache = self.cache.stats();
+        let ckpt = self.ckpt_cache.stats();
         let queue_depth = self.queue.lock().unwrap().len() as u64;
         let c = &self.counters;
         let get = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
@@ -253,6 +279,17 @@ impl Shared {
                 Json::UInt(cache.inflight_waits),
             ),
             ("cache_evictions".into(), Json::UInt(cache.evictions)),
+            (
+                "ckpt_cache_entries".into(),
+                Json::UInt(self.ckpt_cache.len() as u64),
+            ),
+            ("ckpt_cache_hits".into(), Json::UInt(ckpt.hits)),
+            ("ckpt_cache_misses".into(), Json::UInt(ckpt.misses)),
+            (
+                "ckpt_cache_inflight_dedup".into(),
+                Json::UInt(ckpt.inflight_waits),
+            ),
+            ("ckpt_cache_evictions".into(), Json::UInt(ckpt.evictions)),
         ])
         .encode()
     }
@@ -307,9 +344,11 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let cache_capacity = cfg.cache_capacity;
+        let ckpt_cache_capacity = cfg.ckpt_cache_capacity;
         let shared = Arc::new(Shared {
             cfg,
             cache: RunCache::new(cache_capacity),
+            ckpt_cache: RunCache::new(ckpt_cache_capacity),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),

@@ -259,6 +259,14 @@ impl Iterator for SyntheticStream {
             addr,
         })
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Exact: the stream produces precisely `remaining` more records.
+        // This feeds `AccessStream::remaining_hint`, which clamps warm-up
+        // windows to what the trace can actually deliver.
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
 }
 
 // `SyntheticStream` is an `Iterator<Item = TraceRecord>`, so it gets

@@ -44,6 +44,8 @@ use std::path::Path;
 const MAGIC: u32 = 0x5049_504d; // "PIPM"
 const VERSION: u32 = 1;
 const RECORD_BYTES: usize = 13;
+/// Total header size in bytes (magic + version + record count).
+const HEADER_BYTES: u64 = 16;
 /// Byte offset of the record count in the header (after magic+version).
 const COUNT_OFFSET: u64 = 8;
 
@@ -178,6 +180,14 @@ impl AccessStream for TraceFile {
         }
         r
     }
+
+    fn fork(&self) -> Option<Box<dyn AccessStream>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some((self.records.len() - self.cursor) as u64)
+    }
 }
 
 /// Validates a trace header and returns the record count.
@@ -213,9 +223,16 @@ const READER_CHUNK_RECORDS: usize = 128 * 1024;
 ///
 /// Yields exactly the records [`TraceFile`] would — equivalence is unit
 /// tested — but does not support [`rewind`](TraceFile::rewind); reopen
-/// the file to replay again.
+/// the file to replay again. It *does* support
+/// [`fork`](AccessStream::fork): the fork reopens the file and seeks to
+/// the first unyielded record, so checkpointed simulations can resume
+/// replayed traces without buffering them.
 pub struct TraceReader {
+    /// Source path, kept so [`AccessStream::fork`] can reopen the file.
+    path: std::path::PathBuf,
     reader: BufReader<File>,
+    /// Records in the file per the header.
+    total: u64,
     /// Records remaining per the header (also drives `len`).
     remaining: u64,
     /// Decoded records waiting to be yielded, in yield order.
@@ -234,10 +251,13 @@ impl TraceReader {
     /// Returns `InvalidData` for a bad magic number or version, and
     /// propagates underlying I/O errors.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let mut reader = BufReader::new(File::open(path)?);
+        let path = path.as_ref().to_path_buf();
+        let mut reader = BufReader::new(File::open(&path)?);
         let remaining = read_header(&mut reader)?;
         Ok(TraceReader {
+            path,
             reader,
+            total: remaining,
             remaining,
             buffer: std::collections::VecDeque::new(),
             failed: None,
@@ -290,6 +310,33 @@ impl AccessStream for TraceReader {
             }
         }
         self.buffer.pop_front()
+    }
+
+    fn fork(&self) -> Option<Box<dyn AccessStream>> {
+        if self.failed.is_some() {
+            return None;
+        }
+        // Reopen and seek past the records already yielded; the fork
+        // re-reads anything still sitting in this reader's buffer.
+        let yielded = self.total - self.remaining();
+        let mut reader = BufReader::new(File::open(&self.path).ok()?);
+        reader
+            .seek(SeekFrom::Start(
+                HEADER_BYTES + yielded * RECORD_BYTES as u64,
+            ))
+            .ok()?;
+        Some(Box::new(TraceReader {
+            path: self.path.clone(),
+            reader,
+            total: self.total,
+            remaining: self.remaining(),
+            buffer: std::collections::VecDeque::new(),
+            failed: None,
+        }))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining())
     }
 }
 

@@ -6,8 +6,14 @@
 //! computation (observable in `metrics`); structured errors for
 //! malformed, unknown, over-limit, and queue-full requests with the
 //! daemon surviving all of them; and graceful drain on `shutdown`.
+//!
+//! The `whatif` tests cover the checkpointed-sweep request type: a
+//! `whatif` response must be byte-identical to a direct in-process
+//! `run_prefix_one` + `resume_one` encoding, and delta points sharing a
+//! base must share one warmed prefix (a checkpoint-cache hit, visible
+//! in `metrics`).
 
-use pipm_core::run_one;
+use pipm_core::{job_key, resume_one, run_one, run_prefix_one, CfgDelta, SWEEP_WARMUP_FRACTION};
 use pipm_serve::client::{load_generate, Client};
 use pipm_serve::json::Json;
 use pipm_serve::proto::encode_result;
@@ -98,9 +104,17 @@ fn responses_byte_identical_across_cold_warm_and_direct() {
         SystemConfig::experiment_scale(),
         &params,
     );
+    // Keyed on the parse-time cfg, exactly as the daemon admits it
+    // (stream construction fills in derived fields before the run).
+    let key = job_key(
+        Workload::Bfs,
+        SchemeKind::Pipm,
+        &SystemConfig::experiment_scale(),
+        &params,
+    );
     let expected = format!(
         r#"{{"ok":true,"results":[{}]}}"#,
-        encode_result(&direct, &params).encode()
+        encode_result(&direct, &params, &key).encode()
     );
     assert_eq!(cold, expected, "server response != direct run_one encoding");
 
@@ -141,6 +155,102 @@ fn concurrent_identical_submissions_compute_once() {
     // unless the first round completed before any second arrival, so we
     // only require it to be consistent, not nonzero.
     assert!(dedup <= hits);
+    daemon.stop();
+}
+
+fn whatif_line(lat_ns: u64) -> String {
+    format!(
+        r#"{{"cmd":"whatif","jobs":[{{"workload":"bfs","scheme":"pipm","refs_per_core":{REFS},"seed":{SEED},"delta":{{"link_latency_ns":{lat_ns}}}}}]}}"#
+    )
+}
+
+/// A `whatif` response must be byte-identical to the direct in-process
+/// equivalent (prefix under the base cfg, forked tail under the delta),
+/// and two deltas against the same base must share one warmed prefix —
+/// the second request is a checkpoint-cache hit.
+#[test]
+fn whatif_is_byte_identical_to_direct_fork_and_shares_the_prefix() {
+    let daemon = Daemon::start(ServerConfig::default());
+    let mut client = daemon.client();
+
+    let a = client.request(&whatif_line(100)).expect("whatif 100ns");
+    let b = client.request(&whatif_line(200)).expect("whatif 200ns");
+    assert_ne!(a, b, "different deltas must produce different results");
+
+    // Direct equivalent of the 100 ns point.
+    let params = WorkloadParams {
+        refs_per_core: REFS,
+        seed: SEED,
+    };
+    let mut cfg = SystemConfig::experiment_scale();
+    cfg.warmup_fraction = SWEEP_WARMUP_FRACTION;
+    let prefix = (cfg.warmup_fraction * (REFS * cfg.total_cores() as u64) as f64) as u64;
+    let delta = CfgDelta {
+        link_latency_ns: Some(100.0),
+        ..CfgDelta::default()
+    };
+    let ckpt = run_prefix_one(
+        Workload::Bfs,
+        SchemeKind::Pipm,
+        cfg.clone(),
+        &params,
+        prefix,
+    );
+    let direct = resume_one(Workload::Bfs, SchemeKind::Pipm, ckpt, &delta);
+    let key = format!(
+        "sweep-v1|{}|prefix={prefix}|delta={delta:?}",
+        job_key(Workload::Bfs, SchemeKind::Pipm, &cfg, &params)
+    );
+    let expected = format!(
+        r#"{{"ok":true,"results":[{}]}}"#,
+        encode_result(&direct, &params, &key).encode()
+    );
+    assert_eq!(
+        a, expected,
+        "whatif response != direct prefix+resume encoding"
+    );
+
+    // One prefix simulation served both deltas; each delta is its own
+    // run-cache entry; a repeat of an existing point is a pure run-cache
+    // hit that never touches the checkpoint cache again.
+    assert_eq!(metric(&mut client, "ckpt_cache_misses"), 1);
+    assert!(metric(&mut client, "ckpt_cache_hits") >= 1);
+    assert_eq!(metric(&mut client, "cache_misses"), 2);
+    let hits_before = metric(&mut client, "ckpt_cache_hits");
+    let again = client.request(&whatif_line(100)).expect("whatif repeat");
+    assert_eq!(a, again, "repeat whatif changed bytes");
+    assert_eq!(metric(&mut client, "ckpt_cache_hits"), hits_before);
+    assert_eq!(metric(&mut client, "cache_misses"), 2);
+    daemon.stop();
+}
+
+/// The fingerprint of a `whatif` result is derived from the sweep-
+/// namespaced job key, never from the delta-applied cfg — so it can
+/// never alias the fingerprint of a plain full run under that cfg.
+#[test]
+fn whatif_fingerprint_never_aliases_a_plain_run() {
+    let daemon = Daemon::start(ServerConfig::default());
+    let mut client = daemon.client();
+    let whatif = client
+        .request_json(&whatif_line(100))
+        .expect("whatif submit");
+    let plain = client
+        .request_json(&format!(
+            r#"{{"cmd":"submit","jobs":[{{"workload":"bfs","scheme":"pipm","refs_per_core":{REFS},"seed":{SEED},"cfg":{{"link_latency_ns":100}}}}]}}"#
+        ))
+        .expect("plain submit");
+    let fp = |r: &Json| {
+        r.get("results").and_then(Json::as_arr).unwrap()[0]
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    assert_ne!(
+        fp(&whatif),
+        fp(&plain),
+        "a prefix+tail sweep point must not masquerade as a full run"
+    );
     daemon.stop();
 }
 
