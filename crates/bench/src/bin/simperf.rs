@@ -1,11 +1,15 @@
 //! `simperf` — simulator-throughput benchmark and perf trajectory.
 //!
 //! Measures *simulated references per wall-clock second* for every scheme
-//! over the Fig. 10 workload mix and writes the machine-readable
-//! `BENCH_simperf.json` that each PR appends to (the repo's perf
-//! trajectory). Unlike the figure harnesses this benchmarks the simulator
-//! itself, not the simulated system: `exec_cycles` is recorded only so a
-//! throughput change can be correlated with (unchanged) simulated work.
+//! over the Fig. 10 workload mix and maintains the machine-readable
+//! `BENCH_simperf.json` perf trajectory: rows are keyed by commit and
+//! *appended* per run — a re-run at the same commit replaces that
+//! commit's rows, earlier commits' rows are preserved — so the file
+//! accumulates one block per commit and the tool can print an A/B delta
+//! against the previous commit's rows. Unlike the figure harnesses this
+//! benchmarks the simulator itself, not the simulated system:
+//! `exec_cycles` is recorded only so a throughput change can be
+//! correlated with (unchanged) simulated work.
 //!
 //! ```text
 //! cargo run --release -p pipm-bench --bin simperf          # full mix
@@ -136,10 +140,23 @@ fn main() {
         );
     }
 
+    let all_rps: Vec<f64> = records.iter().map(|r| r.refs_per_sec).collect();
+    eprintln!(
+        "[simperf] overall    geomean {:>8.0} krefs/s ({} cells)",
+        geomean(&all_rps) / 1e3,
+        all_rps.len()
+    );
+
     if out_path != "-" {
-        let json = render_json(&commit, &date, &records);
+        let prior = std::fs::read_to_string(&out_path).unwrap_or_default();
+        let kept = prior_rows(&prior, &commit);
+        report_delta(&kept, &records);
+        let json = render_json(&kept, &commit, &date, &records);
         std::fs::write(&out_path, json).expect("write bench file");
-        eprintln!("[simperf] wrote {out_path}");
+        eprintln!(
+            "[simperf] wrote {out_path} (+{} rows this commit)",
+            records.len()
+        );
     }
 
     if let Some(base) = check_path {
@@ -190,23 +207,77 @@ fn utc_date() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Rows already in the trajectory file, minus any from `commit` itself
+/// (a re-run at the same commit replaces its own rows rather than
+/// duplicating them). Each row is the bare JSON object, comma stripped.
+fn prior_rows(prior: &str, commit: &str) -> Vec<String> {
+    prior
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .filter(|l| json_field(l, "commit") != Some(commit))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
+/// Prints the per-cell geomean speedup of this run against the previous
+/// commit's rows (the last distinct commit block in the file), if any.
+fn report_delta(kept: &[String], records: &[Record]) {
+    let Some(prev) = kept.last().and_then(|l| json_field(l, "commit")) else {
+        return;
+    };
+    let prev_rows: Vec<&String> = kept
+        .iter()
+        .filter(|l| json_field(l, "commit") == Some(prev))
+        .collect();
+    let ratios: Vec<f64> = records
+        .iter()
+        .filter_map(|r| {
+            prev_rows
+                .iter()
+                .find(|l| {
+                    json_field(l, "scheme") == Some(r.scheme.label())
+                        && json_field(l, "workload") == Some(r.workload.label())
+                })
+                .and_then(|l| json_field(l, "refs_per_sec"))
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|old| r.refs_per_sec / old)
+        })
+        .collect();
+    if ratios.is_empty() {
+        eprintln!("[simperf] no overlapping cells with previous commit {prev}");
+    } else {
+        eprintln!(
+            "[simperf] delta vs {prev}: {:>5.2}x geomean ({} cells)",
+            geomean(&ratios),
+            ratios.len()
+        );
+    }
+}
+
 /// One JSON object per line so the `--check` parser (and diff reviews)
-/// can treat records independently.
-fn render_json(commit: &str, date: &str, records: &[Record]) -> String {
-    let mut s = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        s.push_str(&format!(
-            "  {{\"commit\": \"{commit}\", \"date\": \"{date}\", \
+/// can treat records independently. Prior commits' rows come first, in
+/// their original order; this run's rows are appended.
+fn render_json(kept: &[String], commit: &str, date: &str, records: &[Record]) -> String {
+    let mut rows: Vec<String> = kept.to_vec();
+    for r in records {
+        rows.push(format!(
+            "{{\"commit\": \"{commit}\", \"date\": \"{date}\", \
              \"scheme\": \"{}\", \"workload\": \"{}\", \
              \"refs_per_sec\": {:.1}, \"wall_ms\": {:.3}, \
-             \"exec_cycles\": {}}}{}\n",
+             \"exec_cycles\": {}}}",
             r.scheme.label(),
             r.workload.label(),
             r.refs_per_sec,
             r.wall_ms,
             r.exec_cycles,
-            if i + 1 == records.len() { "" } else { "," }
         ));
+    }
+    let mut s = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        s.push_str("  ");
+        s.push_str(row);
+        s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
     s.push_str("]\n");
     s
@@ -235,8 +306,19 @@ fn check_regression(base: &str, records: &[Record], threshold: f64) -> i32 {
             return 0;
         }
     };
+    // With append-per-commit trajectories the baseline file may hold many
+    // commits' rows; compare against the newest block (the last row's
+    // commit), not whatever happens to match first.
+    let last_commit = text
+        .lines()
+        .rev()
+        .find_map(|l| json_field(l.trim(), "commit"))
+        .map(str::to_string);
     let mut baseline: Vec<(String, String, f64)> = Vec::new();
     for line in text.lines() {
+        if json_field(line, "commit").map(str::to_string) != last_commit {
+            continue;
+        }
         let (Some(s), Some(w), Some(r)) = (
             json_field(line, "scheme"),
             json_field(line, "workload"),

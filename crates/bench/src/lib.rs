@@ -446,7 +446,9 @@ impl Harness {
         Harness {
             refs_per_core,
             seed,
-            workers: workers.max(1),
+            // One clamp policy for every PIPM_WORKERS-driven pool: more
+            // threads than cores only adds scheduling overhead (warns once).
+            workers: pipm_core::effective_workers(workers).max(1),
             quiet: true,
             no_fork: false,
             cache,

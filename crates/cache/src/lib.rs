@@ -7,6 +7,33 @@
 //! [`LineAddr`]). Each entry carries caller-defined metadata `M`
 //! (coherence state, dirty bit, remapping entry, …). Replacement is LRU.
 //!
+//! # Layout
+//!
+//! Tags and recency live in flat, packed `u64` arrays (`sets × ways`
+//! lanes), so probing a set is a tight compare loop over contiguous
+//! lanes — branch-predictable and autovectorizable — instead of a
+//! pointer chase through per-way structs. Empty lanes hold a sentinel
+//! tag (`u64::MAX`, which no key projects to), so a probe scans the
+//! whole fixed-width set without first loading the set's occupancy: a
+//! miss touches *only* the tag lanes (one cache line for an 8-way set),
+//! never the payload vectors. The `(key, metadata, recency)` payloads
+//! live in per-set vectors whose lane order mirrors the tag lanes
+//! exactly; a set's occupancy is its payload vector's length. Recency
+//! rides in the payload tuple rather than a second packed array: probes
+//! only need it on a hit, when the payload line is loaded anyway, so a
+//! separate array would cost an extra cache miss per hit for nothing.
+//!
+//! Packed tags pay for themselves only when sets run dense and hot (an
+//! L1 probe scans 8 lanes in one resident cache line instead of chasing
+//! a payload pointer). For sparse giants — the 512 Ki-lane CXL device
+//! directory sits mostly empty, its sets holding a couple of entries —
+//! the fixed-width scan drags two *cold* tag lines into cache that the
+//! payload walk never needed, measurably doubling probe cost. Such
+//! structures should use [`SetAssoc::new_sparse`], which skips the tag
+//! array entirely and probes the payload tuples in place (the original
+//! layout). Both layouts maintain identical lane order, recency, and
+//! victim selection, so simulation results are bit-identical either way.
+//!
 //! # Example
 //!
 //! ```
@@ -32,34 +59,38 @@ use pipm_types::{LineAddr, PageNum};
 ///
 /// This trait is sealed in spirit: it is implemented for the address types
 /// used by the simulator ([`LineAddr`], [`PageNum`], and `u64`).
+///
+/// `as_index` must be **injective**: two distinct keys must project to
+/// distinct integers, because the packed tag array compares projections
+/// in place of keys. It must also never return `u64::MAX`, which the tag
+/// array reserves as its empty-lane sentinel. All three implementations
+/// are raw-value identities over address-like values far below the
+/// sentinel, so both properties hold trivially.
 pub trait CacheKey: Copy + Eq + std::fmt::Debug {
-    /// A stable integer projection of the key, used for set selection.
+    /// A stable integer projection of the key, used for set selection and
+    /// tag comparison.
     fn as_index(self) -> u64;
 }
 
 impl CacheKey for LineAddr {
+    #[inline]
     fn as_index(self) -> u64 {
         self.raw()
     }
 }
 
 impl CacheKey for PageNum {
+    #[inline]
     fn as_index(self) -> u64 {
         self.raw()
     }
 }
 
 impl CacheKey for u64 {
+    #[inline]
     fn as_index(self) -> u64 {
         self
     }
-}
-
-#[derive(Clone, Debug)]
-struct Way<K, M> {
-    key: K,
-    meta: M,
-    last_use: u64,
 }
 
 /// Hit/miss/eviction counters for a cache structure.
@@ -85,6 +116,10 @@ impl CacheStats {
     }
 }
 
+/// Sentinel tag marking an unoccupied lane. [`CacheKey::as_index`] is
+/// forbidden from producing this value, so empty lanes can never match.
+const EMPTY: u64 = u64::MAX;
+
 /// A set-associative, LRU-replaced tag structure with per-entry metadata.
 #[derive(Clone, Debug)]
 pub struct SetAssoc<K, M> {
@@ -94,7 +129,19 @@ pub struct SetAssoc<K, M> {
     /// the per-access set index is a mask instead of a hardware divide;
     /// `u64::MAX` sentinel otherwise (fall back to `%`).
     set_mask: u64,
-    storage: Vec<Vec<Way<K, M>>>,
+    /// Packed tag lanes, `sets × ways`; lane `s * ways + i` is valid for
+    /// `i < entries[s].len()`. Lanes past a set's occupancy hold the
+    /// [`EMPTY`] sentinel, which no key projects to, so a probe scans the
+    /// fixed set width without consulting the occupancy at all. Empty for
+    /// sparse-layout structures ([`Self::new_sparse`]), which probe the
+    /// payload tuples directly.
+    tags: Vec<u64>,
+    /// Per-set `(key, metadata, last_use)` payloads in tag-lane order. A
+    /// set's occupancy is its vector's length; payload storage is
+    /// allocated lazily on first insert (large, mostly-empty structures —
+    /// the CXL device directory is 512 Ki ways — would otherwise pay tens
+    /// of thousands of upfront allocations per simulated system).
+    entries: Vec<Vec<(K, M, u64)>>,
     tick: u64,
     stats: CacheStats,
 }
@@ -102,16 +149,12 @@ pub struct SetAssoc<K, M> {
 impl<K: CacheKey, M> SetAssoc<K, M> {
     /// Creates a structure with `sets` sets of `ways` ways.
     ///
-    /// Set storage is allocated lazily on first insert: large, mostly-empty
-    /// structures (the CXL device directory is 512 Ki ways) would otherwise
-    /// pay tens of thousands of upfront allocations per simulated system,
-    /// which dominates short runs.
-    ///
     /// # Panics
     ///
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "cache geometry must be nonzero");
+        let lanes = sets.checked_mul(ways).expect("cache geometry overflow");
         SetAssoc {
             sets,
             ways,
@@ -120,7 +163,33 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
             } else {
                 u64::MAX
             },
-            storage: (0..sets).map(|_| Vec::new()).collect(),
+            tags: vec![EMPTY; lanes],
+            entries: (0..sets).map(|_| Vec::new()).collect(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a structure with `sets` sets of `ways` ways, laid out for
+    /// structures expected to run mostly empty (e.g. the CXL device
+    /// directory, whose occupancy is bounded by what hosts actually
+    /// cache). Probes walk the per-set payload tuples directly instead of
+    /// a packed tag array, which is faster when a set holds a couple of
+    /// entries and its tag lines would be cold. Behaviorally identical to
+    /// [`Self::new`].
+    pub fn new_sparse(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache geometry must be nonzero");
+        sets.checked_mul(ways).expect("cache geometry overflow");
+        SetAssoc {
+            sets,
+            ways,
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                u64::MAX
+            },
+            tags: Vec::new(),
+            entries: (0..sets).map(|_| Vec::new()).collect(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -143,22 +212,37 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
 
     /// Number of valid entries currently stored.
     pub fn len(&self) -> usize {
-        self.storage.iter().map(Vec::len).sum()
+        self.entries.iter().map(Vec::len).sum()
     }
 
     /// Whether the structure holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.storage.iter().all(Vec::is_empty)
+        self.entries.iter().all(Vec::is_empty)
     }
 
     #[inline]
-    fn set_of(&self, key: K) -> usize {
-        let idx = key.as_index();
+    fn set_of(&self, idx: u64) -> usize {
         if self.set_mask != u64::MAX {
             (idx & self.set_mask) as usize
         } else {
             (idx % self.sets as u64) as usize
         }
+    }
+
+    /// Scans one set's packed tag lanes for `tag`: a fixed-width compare
+    /// loop over the whole set (empty lanes hold [`EMPTY`] and cannot
+    /// match), so a miss touches only the tag array — no occupancy load,
+    /// no payload pointer chase.
+    #[inline]
+    fn find_lane(&self, set: usize, tag: u64) -> Option<usize> {
+        debug_assert_ne!(tag, EMPTY, "key projects to the reserved sentinel");
+        if self.tags.is_empty() {
+            // Sparse layout: scan the payload tuples in place.
+            return self.entries[set].iter().position(|e| e.0.as_index() == tag);
+        }
+        let base = set * self.ways;
+        let lanes = &self.tags[base..base + self.ways];
+        lanes.iter().position(|&t| t == tag)
     }
 
     /// Looks up `key`, updating recency and hit/miss statistics. Returns a
@@ -167,12 +251,15 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
     pub fn lookup(&mut self, key: K) -> Option<&mut M> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_of(key);
-        match self.storage[set].iter_mut().find(|w| w.key == key) {
-            Some(w) => {
-                w.last_use = tick;
+        let tag = key.as_index();
+        let set = self.set_of(tag);
+        match self.find_lane(set, tag) {
+            Some(i) => {
                 self.stats.hits += 1;
-                Some(&mut w.meta)
+                let e = &mut self.entries[set][i];
+                debug_assert_eq!(e.0, key, "tag collision: as_index not injective");
+                e.2 = tick;
+                Some(&mut e.1)
             }
             None => {
                 self.stats.misses += 1;
@@ -184,21 +271,18 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
     /// Reads `key` without updating recency or statistics.
     #[inline]
     pub fn peek(&self, key: K) -> Option<&M> {
-        let set = self.set_of(key);
-        self.storage[set]
-            .iter()
-            .find(|w| w.key == key)
-            .map(|w| &w.meta)
+        let tag = key.as_index();
+        let set = self.set_of(tag);
+        self.find_lane(set, tag).map(|i| &self.entries[set][i].1)
     }
 
     /// Mutates `key`'s metadata without updating recency or statistics.
     #[inline]
     pub fn peek_mut(&mut self, key: K) -> Option<&mut M> {
-        let set = self.set_of(key);
-        self.storage[set]
-            .iter_mut()
-            .find(|w| w.key == key)
-            .map(|w| &mut w.meta)
+        let tag = key.as_index();
+        let set = self.set_of(tag);
+        self.find_lane(set, tag)
+            .map(|i| &mut self.entries[set][i].1)
     }
 
     /// Inserts `key` with `meta`, returning the evicted `(key, meta)` if the
@@ -207,57 +291,83 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
     pub fn insert(&mut self, key: K, meta: M) -> Option<(K, M)> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_of(key);
+        let tag = key.as_index();
+        let set = self.set_of(tag);
         let ways = self.ways;
-        let slot = &mut self.storage[set];
-        if let Some(w) = slot.iter_mut().find(|w| w.key == key) {
-            w.meta = meta;
-            w.last_use = tick;
+        let base = set * ways;
+        if let Some(i) = self.find_lane(set, tag) {
+            let e = &mut self.entries[set][i];
+            e.1 = meta;
+            e.2 = tick;
             return None;
         }
-        if slot.len() < ways {
-            slot.push(Way {
-                key,
-                meta,
-                last_use: tick,
-            });
+        let len = self.entries[set].len();
+        if len < ways {
+            if self.entries[set].capacity() == 0 {
+                self.entries[set].reserve_exact(ways);
+            }
+            self.entries[set].push((key, meta, tick));
+            if !self.tags.is_empty() {
+                self.tags[base + len] = tag;
+            }
             return None;
         }
-        // Evict LRU.
-        let victim_idx = slot
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_use)
-            .map(|(i, _)| i)
-            .expect("set is full, victim exists");
-        let victim = slot.swap_remove(victim_idx);
-        slot.push(Way {
-            key,
-            meta,
-            last_use: tick,
-        });
+        // Evict LRU: a forward first-minimum scan over the set's recency
+        // values. Strict `<` keeps the lowest lane on ties, matching
+        // `min_by_key` semantics (ties cannot occur anyway: each tick
+        // touches exactly one entry).
+        let mut victim = 0;
+        let mut oldest = self.entries[set][0].2;
+        for (i, e) in self.entries[set].iter().enumerate().skip(1) {
+            if e.2 < oldest {
+                oldest = e.2;
+                victim = i;
+            }
+        }
+        // Mirror `Vec::swap_remove + push` in the packed tag lanes so lane
+        // order evolves identically to the payload vector.
+        if !self.tags.is_empty() {
+            let last = ways - 1;
+            self.tags[base + victim] = self.tags[base + last];
+            self.tags[base + last] = tag;
+        }
+        let old = self.entries[set].swap_remove(victim);
+        self.entries[set].push((key, meta, tick));
         self.stats.evictions += 1;
-        Some((victim.key, victim.meta))
+        Some((old.0, old.1))
+    }
+
+    /// Removes lane `i` of `set`, keeping tag/recency lanes and the payload
+    /// vector in mirrored `swap_remove` order.
+    fn remove_lane(&mut self, set: usize, i: usize) -> (K, M) {
+        if !self.tags.is_empty() {
+            let base = set * self.ways;
+            let last = self.entries[set].len() - 1;
+            self.tags[base + i] = self.tags[base + last];
+            self.tags[base + last] = EMPTY;
+        }
+        let e = self.entries[set].swap_remove(i);
+        (e.0, e.1)
     }
 
     /// Removes `key`, returning its metadata if present.
     pub fn invalidate(&mut self, key: K) -> Option<M> {
-        let set = self.set_of(key);
-        let slot = &mut self.storage[set];
-        let idx = slot.iter().position(|w| w.key == key)?;
-        Some(slot.swap_remove(idx).meta)
+        let tag = key.as_index();
+        let set = self.set_of(tag);
+        let i = self.find_lane(set, tag)?;
+        Some(self.remove_lane(set, i).1)
     }
 
     /// Removes every entry matched by `pred`, returning the removed pairs.
     /// Used for page-granularity invalidations (migration shootdowns).
     pub fn invalidate_matching<F: FnMut(&K, &M) -> bool>(&mut self, mut pred: F) -> Vec<(K, M)> {
         let mut out = Vec::new();
-        for slot in &mut self.storage {
+        for set in 0..self.sets {
             let mut i = 0;
-            while i < slot.len() {
-                if pred(&slot[i].key, &slot[i].meta) {
-                    let w = slot.swap_remove(i);
-                    out.push((w.key, w.meta));
+            while i < self.entries[set].len() {
+                let e = &self.entries[set][i];
+                if pred(&e.0, &e.1) {
+                    out.push(self.remove_lane(set, i));
                 } else {
                     i += 1;
                 }
@@ -268,9 +378,9 @@ impl<K: CacheKey, M> SetAssoc<K, M> {
 
     /// Iterates over all `(key, meta)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &M)> {
-        self.storage
+        self.entries
             .iter()
-            .flat_map(|s| s.iter().map(|w| (&w.key, &w.meta)))
+            .flat_map(|s| s.iter().map(|(k, m, _)| (k, m)))
     }
 
     /// Counts entries satisfying `pred` without touching LRU order or
@@ -376,6 +486,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_key_does_not_false_hit() {
+        // A key whose projection is zero must miss until actually
+        // inserted, and lanes past a set's occupancy must never match
+        // (they hold the EMPTY sentinel, not zero).
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(2, 4);
+        assert!(c.lookup(0).is_none());
+        assert!(c.peek(0).is_none());
+        c.insert(2, 1); // same set as 0 under the power-of-two mask
+        assert!(c.peek(0).is_none());
+        c.insert(0, 9);
+        assert_eq!(*c.peek(0).unwrap(), 9);
+    }
+
+    #[test]
     fn page_invalidation() {
         use pipm_types::{LineAddr, PageNum, LINES_PER_PAGE};
         let mut c: SetAssoc<LineAddr, ()> = SetAssoc::new(16, 8);
@@ -433,6 +557,79 @@ mod tests {
                     prop_assert_ne!(Some(victim), last_inserted);
                 }
                 last_inserted = Some(k);
+            }
+        }
+
+        /// The packed-tag and sparse layouts are observationally identical:
+        /// same hits, same evictions, same victims, under any op sequence.
+        #[test]
+        fn prop_sparse_matches_packed(ops in proptest::collection::vec((0u8..4, 0u64..48), 1..300)) {
+            let mut packed: SetAssoc<u64, u64> = SetAssoc::new(2, 3);
+            let mut sparse: SetAssoc<u64, u64> = SetAssoc::new_sparse(2, 3);
+            for (op, key) in ops {
+                match op {
+                    0 => prop_assert_eq!(packed.insert(key, key * 3), sparse.insert(key, key * 3)),
+                    1 => prop_assert_eq!(packed.lookup(key).map(|m| *m), sparse.lookup(key).map(|m| *m)),
+                    2 => prop_assert_eq!(packed.invalidate(key), sparse.invalidate(key)),
+                    _ => prop_assert_eq!(packed.peek(key), sparse.peek(key)),
+                }
+            }
+            prop_assert_eq!(packed.stats(), sparse.stats());
+            prop_assert_eq!(packed.len(), sparse.len());
+        }
+
+        /// Tag-lane bookkeeping stays consistent with the payload vectors
+        /// under arbitrary interleaved insert/invalidate/lookup traffic:
+        /// a shadow model over a plain Vec must agree on every probe.
+        #[test]
+        fn prop_matches_shadow_model(ops in proptest::collection::vec((0u8..4, 0u64..48), 1..300)) {
+            let mut c: SetAssoc<u64, u64> = SetAssoc::new(2, 3);
+            // Shadow: per-set Vec<(key, meta, last_use)> replicating the
+            // original pointer-chasing implementation verbatim.
+            let mut shadow: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); 2];
+            let mut tick = 0u64;
+            for (op, key) in ops {
+                let set = (key & 1) as usize;
+                match op {
+                    0 => {
+                        tick += 1;
+                        let evicted = c.insert(key, key * 10);
+                        let slot = &mut shadow[set];
+                        let expect = if let Some(e) = slot.iter_mut().find(|e| e.0 == key) {
+                            e.1 = key * 10;
+                            e.2 = tick;
+                            None
+                        } else if slot.len() < 3 {
+                            slot.push((key, key * 10, tick));
+                            None
+                        } else {
+                            let v = slot.iter().enumerate()
+                                .min_by_key(|(_, e)| e.2).map(|(i, _)| i).unwrap();
+                            let victim = slot.swap_remove(v);
+                            slot.push((key, key * 10, tick));
+                            Some((victim.0, victim.1))
+                        };
+                        prop_assert_eq!(evicted, expect);
+                    }
+                    1 => {
+                        tick += 1;
+                        let hit = c.lookup(key).map(|m| *m);
+                        let expect = shadow[set].iter_mut().find(|e| e.0 == key)
+                            .map(|e| { e.2 = tick; e.1 });
+                        prop_assert_eq!(hit, expect);
+                    }
+                    2 => {
+                        let got = c.invalidate(key);
+                        let expect = shadow[set].iter().position(|e| e.0 == key)
+                            .map(|i| shadow[set].swap_remove(i).1);
+                        prop_assert_eq!(got, expect);
+                    }
+                    _ => {
+                        let got = c.peek(key).copied();
+                        let expect = shadow[set].iter().find(|e| e.0 == key).map(|e| e.1);
+                        prop_assert_eq!(got, expect);
+                    }
+                }
             }
         }
     }

@@ -143,12 +143,51 @@ pub fn run_one_with_delta(
 /// One job for [`run_many`]: the full argument set of a [`run_one`] call.
 pub type RunJob = (Workload, SchemeKind, SystemConfig, WorkloadParams);
 
+/// Clamps a requested worker count to the machine's available cores.
+///
+/// Each worker drives a full simulation pipeline, so requesting more
+/// workers than cores (e.g. an over-eager `PIPM_WORKERS`) oversubscribes
+/// the machine: threads time-slice instead of running, and wall-clock
+/// throughput *drops* while results stay identical. Returns the clamped
+/// count plus the warning to surface, if any. Pure so the policy is unit
+/// testable; [`effective_workers`] applies it against the live machine.
+fn clamp_worker_budget(requested: usize, available: usize) -> (usize, Option<String>) {
+    if available > 0 && requested > available {
+        (
+            available,
+            Some(format!(
+                "warning: clamping worker threads from {requested} to {available} \
+                 (available cores); oversubscribing only adds scheduling overhead"
+            )),
+        )
+    } else {
+        (requested, None)
+    }
+}
+
+/// Applies [`clamp_worker_budget`] against `available_parallelism`,
+/// printing the warning at most once per process (the same warn-once
+/// convention as the env-parsing helpers). Public so every thread pool
+/// driven by `PIPM_WORKERS` — [`run_many`], [`run_spec_many`], and the
+/// bench harness's own fan-out — shares one clamp policy.
+pub fn effective_workers(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0);
+    let (clamped, warning) = clamp_worker_budget(requested, available);
+    if let Some(w) = warning {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| eprintln!("{w}"));
+    }
+    clamped
+}
+
 /// Runs every job across `workers` scoped threads, returning results in
 /// job order. Each job builds its own self-contained [`System`], so the
 /// results are bit-identical to serial [`run_one`] calls regardless of
 /// scheduling (asserted by `tests/determinism.rs`).
 pub fn run_many(jobs: &[RunJob], workers: usize) -> Vec<RunResult> {
-    let threads = workers.max(1).min(jobs.len());
+    let threads = effective_workers(workers).max(1).min(jobs.len());
     if threads <= 1 {
         return jobs
             .iter()
@@ -224,7 +263,7 @@ pub type SpecJob = (FuzzSpec, SchemeKind, SystemConfig);
 /// job is self-contained, so results are bit-identical to serial
 /// [`run_spec_one`] calls).
 pub fn run_spec_many(jobs: &[SpecJob], workers: usize) -> Vec<SpecRunResult> {
-    let threads = workers.max(1).min(jobs.len());
+    let threads = effective_workers(workers).max(1).min(jobs.len());
     if threads <= 1 {
         return jobs
             .iter()
@@ -283,6 +322,23 @@ mod tests {
             stats,
             cfg: SystemConfig::default(),
         }
+    }
+
+    #[test]
+    fn worker_budget_clamps_only_oversubscription() {
+        // Within budget: untouched, no warning.
+        assert_eq!(clamp_worker_budget(4, 8), (4, None));
+        assert_eq!(clamp_worker_budget(8, 8), (8, None));
+        // Oversubscribed: clamped to the core count, with a warning.
+        let (n, warn) = clamp_worker_budget(64, 8);
+        assert_eq!(n, 8);
+        let warn = warn.expect("oversubscription must warn");
+        assert!(warn.contains("64") && warn.contains('8'), "{warn}");
+        // Unknown parallelism (0): trust the caller, never clamp to zero.
+        assert_eq!(clamp_worker_budget(16, 0), (16, None));
+        // Degenerate requests pass through; run_many applies its own
+        // `.max(1)` floor after clamping.
+        assert_eq!(clamp_worker_budget(0, 8), (0, None));
     }
 
     #[test]

@@ -87,11 +87,46 @@ pub trait AccessStream: Send {
     fn remaining_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Produces up to `max` records into `out` (cleared first), returning
+    /// how many were written. Fewer than `max` records means the stream is
+    /// exhausted. The batched simulation loop pays one virtual dispatch per
+    /// batch instead of per record; implementations hoist per-record setup
+    /// (generator parameters, RNG dispatch, bounds checks) out of the fill
+    /// loop. The default degenerates to repeated [`Self::next_record`], so
+    /// batch size 1 is exactly the scalar path.
+    fn fill_batch(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        out.clear();
+        for _ in 0..max {
+            match self.next_record() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out.len()
+    }
 }
 
 impl<I: Iterator<Item = TraceRecord> + Clone + Send + 'static> AccessStream for I {
+    #[inline]
     fn next_record(&mut self) -> Option<TraceRecord> {
         self.next()
+    }
+
+    /// Monomorphized fill loop: `I::next` inlines into the batch fill, so
+    /// generator state (RNG words, stream parameters) stays in registers
+    /// across the whole batch instead of being reloaded per record through
+    /// the `dyn AccessStream` boundary.
+    fn fill_batch(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        out.clear();
+        out.reserve(max);
+        for _ in 0..max {
+            match self.next() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out.len()
     }
 
     fn fork(&self) -> Option<Box<dyn AccessStream>> {
@@ -168,6 +203,7 @@ impl CoreModel {
     }
 
     /// Current core clock.
+    #[inline]
     pub fn clock(&self) -> Cycle {
         self.clock
     }
@@ -182,6 +218,7 @@ impl CoreModel {
         self.window.len()
     }
 
+    #[inline]
     fn retire_completed(&mut self) {
         while let Some(front) = self.window.front() {
             if front.complete_at <= self.clock {
@@ -203,6 +240,7 @@ impl CoreModel {
     /// Advances the clock for `nonmem` non-memory instructions retiring at
     /// the configured width, accumulating fractional-cycle remainders so
     /// narrow records do not under-charge.
+    #[inline]
     pub fn advance_compute(&mut self, nonmem: u32) {
         self.instructions += nonmem as u64;
         let total = self.compute_remainder + nonmem;
@@ -221,6 +259,7 @@ impl CoreModel {
     /// Stalls (advancing the clock) until the window can accept one more
     /// memory operation of the given kind. Each stall interval is reported
     /// through `on_stall(class_of_blocking_access, cycles)`.
+    #[inline]
     pub fn reserve_slot<F: FnMut(AccessClass, Cycle)>(&mut self, is_write: bool, on_stall: &mut F) {
         loop {
             self.retire_completed();
@@ -248,6 +287,7 @@ impl CoreModel {
     /// Stalls until fewer than the MSHR limit of cache misses are in
     /// flight. Call before issuing an access known to miss the L1; stall
     /// intervals are reported like [`reserve_slot`](CoreModel::reserve_slot).
+    #[inline]
     pub fn reserve_mshr<F: FnMut(AccessClass, Cycle)>(&mut self, on_stall: &mut F) {
         while self.misses_inflight >= self.mshr_limit {
             let front = *self.window.front().expect("misses imply a window");
@@ -269,6 +309,7 @@ impl CoreModel {
     /// # Panics
     ///
     /// Panics in debug builds if `complete_at < clock`.
+    #[inline]
     pub fn issue_classified(
         &mut self,
         complete_at: Cycle,
@@ -296,6 +337,7 @@ impl CoreModel {
 
     /// [`issue_classified`](CoreModel::issue_classified) with the miss flag
     /// derived from the class (anything beyond the L1 counts as a miss).
+    #[inline]
     pub fn issue(&mut self, complete_at: Cycle, class: AccessClass, is_write: bool) {
         self.issue_classified(
             complete_at,

@@ -205,13 +205,13 @@ impl SyntheticStream {
     }
 }
 
-impl Iterator for SyntheticStream {
-    type Item = TraceRecord;
-
-    fn next(&mut self) -> Option<TraceRecord> {
-        if self.remaining == 0 {
-            return None;
-        }
+impl SyntheticStream {
+    /// Generates one record. Callers must have checked `remaining > 0`;
+    /// keeping the exhaustion test out of this body lets the batched fill
+    /// loop hoist it to a single bound computation per batch.
+    #[inline]
+    fn gen_record(&mut self) -> TraceRecord {
+        debug_assert!(self.remaining > 0);
         self.remaining -= 1;
         self.generated += 1;
         if self.spec.phase_refs > 0 && self.generated.is_multiple_of(self.spec.phase_refs) {
@@ -225,11 +225,11 @@ impl Iterator for SyntheticStream {
         // real code does when walking fields/elements within 64 bytes.
         if self.repeat_left > 0 {
             self.repeat_left -= 1;
-            return Some(TraceRecord {
+            return TraceRecord {
                 nonmem,
                 is_write,
                 addr: self.last_addr,
-            });
+            };
         }
 
         let draw: f64 = self.rng.gen();
@@ -253,28 +253,50 @@ impl Iterator for SyntheticStream {
         let reps = self.spec.line_repeats.max(1);
         self.repeat_left = self.rng.gen_range(0..2 * reps);
         self.last_addr = addr;
-        Some(TraceRecord {
+        TraceRecord {
             nonmem,
             is_write,
             addr,
-        })
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        // Exact: the stream produces precisely `remaining` more records.
-        // This feeds `AccessStream::remaining_hint`, which clamps warm-up
-        // windows to what the trace can actually deliver.
-        let n = self.remaining as usize;
-        (n, Some(n))
+        }
     }
 }
 
-// `SyntheticStream` is an `Iterator<Item = TraceRecord>`, so it gets
-// `AccessStream` via the blanket impl in `pipm-cpu`.
-const _: fn() = || {
-    fn assert_stream<S: AccessStream>() {}
-    assert_stream::<SyntheticStream>();
-};
+impl AccessStream for SyntheticStream {
+    #[inline]
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        Some(self.gen_record())
+    }
+
+    /// Specialized batch fill: the record count is computed once from
+    /// `remaining`, so the inner loop carries no per-record exhaustion
+    /// test or `Option` dispatch, and the generator's spec parameters and
+    /// RNG state stay in registers across the batch. Draws records through
+    /// the same [`Self::gen_record`] as the scalar path, so the RNG
+    /// consumption sequence is bit-identical at any batch size.
+    fn fill_batch(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        out.clear();
+        let n = self.remaining.min(max as u64) as usize;
+        out.reserve(n);
+        for _ in 0..n {
+            let rec = self.gen_record();
+            out.push(rec);
+        }
+        n
+    }
+
+    fn fork(&self) -> Option<Box<dyn AccessStream>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        // Exact: the stream produces precisely `remaining` more records;
+        // this clamps warm-up windows to what the trace can deliver.
+        Some(self.remaining)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -289,8 +311,40 @@ mod tests {
 
     #[test]
     fn produces_exact_count() {
-        let s = stream(Workload::Cc, 500, 1);
-        assert_eq!(s.count(), 500);
+        let mut s = stream(Workload::Cc, 500, 1);
+        let mut n = 0;
+        while s.next_record().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn batched_fill_matches_scalar_bit_for_bit() {
+        // The batched fill must consume the RNG in exactly the scalar
+        // order: any batch size, including sizes that straddle phase
+        // boundaries and end-of-trace, yields the identical record
+        // sequence.
+        for w in [Workload::Cc, Workload::Ycsb] {
+            let mut scalar = stream(w, 1000, 9);
+            let mut expect = Vec::new();
+            while let Some(r) = scalar.next_record() {
+                expect.push(r);
+            }
+            for batch in [1usize, 8, 64, 333] {
+                let mut s = stream(w, 1000, 9);
+                let mut got = Vec::new();
+                let mut buf = Vec::new();
+                loop {
+                    let n = s.fill_batch(&mut buf, batch);
+                    got.extend_from_slice(&buf[..n]);
+                    if n < batch {
+                        break;
+                    }
+                }
+                assert_eq!(got, expect, "{w:?} batch {batch}");
+            }
+        }
     }
 
     #[test]

@@ -32,9 +32,10 @@ pub struct Zipfian {
     alpha: f64,
     zetan: f64,
     eta: f64,
-    /// `0.5^theta`, hoisted out of [`Self::sample`] (one `powf` per draw
-    /// otherwise — a measurable cost in the trace generators).
-    half_pow_theta: f64,
+    /// `1 + 0.5^theta`, hoisted out of [`Self::sample`] (one `powf` plus
+    /// an add per draw otherwise — a measurable cost in the trace
+    /// generators, where this is the rank-1 early-out threshold).
+    one_plus_half_pow_theta: f64,
 }
 
 impl Zipfian {
@@ -56,7 +57,7 @@ impl Zipfian {
             alpha,
             zetan,
             eta,
-            half_pow_theta: 0.5f64.powf(theta),
+            one_plus_half_pow_theta: 1.0 + 0.5f64.powf(theta),
         }
     }
 
@@ -150,13 +151,14 @@ impl Zipfian {
     }
 
     /// Draws a rank in `0..n`; rank 0 is the hottest.
+    #[inline]
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + self.half_pow_theta {
+        if uz < self.one_plus_half_pow_theta {
             return 1;
         }
         let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;

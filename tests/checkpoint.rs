@@ -177,6 +177,43 @@ fn forks_are_independent_of_resume_order() {
     assert!(a1.stats.exec_cycles() > base.stats.exec_cycles());
 }
 
+/// A checkpoint taken *mid-batch* must fork and resume bit-identically.
+///
+/// The batched pipeline buffers up to 64 decoded references per core;
+/// `run_prefix` can stop a core partway through its buffer. The
+/// checkpoint must capture that in-flight state (buffered records plus
+/// the stream position *after* generating them), so a fork neither
+/// replays nor skips references. The fork point here is deliberately a
+/// prime, so it is not a multiple of the batch size, the core count, or
+/// their product — every core's boundary falls mid-batch.
+#[test]
+fn mid_batch_fork_is_bit_identical() {
+    let cfg = sweep_cfg();
+    // 10_007 is prime: not a multiple of the 64-ref default batch, of the
+    // core count, or of their product — every core stops mid-batch.
+    let at = 10_007u64;
+    for &scheme in &[SchemeKind::Native, SchemeKind::Pipm] {
+        let master = run_prefix_one(Workload::Ycsb, scheme, cfg.clone(), &params(), at);
+        let resumed = resume_one(Workload::Ycsb, scheme, master.clone(), &CfgDelta::default());
+        let base = run_one(Workload::Ycsb, scheme, cfg.clone(), &params());
+        assert_eq!(
+            base.stats, resumed.stats,
+            "{scheme:?}: mid-batch checkpoint round-trip must be invisible"
+        );
+        let delta = CfgDelta {
+            link_latency_ns: Some(150.0),
+            ..CfgDelta::default()
+        };
+        let forked = resume_one(Workload::Ycsb, scheme, master, &delta);
+        let unforked =
+            run_one_with_delta(Workload::Ycsb, scheme, cfg.clone(), &params(), at, &delta);
+        assert_eq!(
+            forked.stats, unforked.stats,
+            "{scheme:?}: mid-batch fork must equal inline delta"
+        );
+    }
+}
+
 /// Satellite regression: the warm-up window must be sized by the
 /// references the streams actually deliver, not by the requested
 /// `refs_per_core`. A trace shorter than the request previously put the
