@@ -11,6 +11,9 @@
 //!             --delta link_latency_ns=100 [--delta ...] [--refs N] [--seed N]
 //! pipm-client [--addr HOST:PORT] load --workload bfs --scheme pipm \
 //!             [--refs N] [--seed N] --clients N --rounds M
+//! pipm-client [--addr HOST:PORT] bench --workload bfs --scheme pipm \
+//!             [--refs N] [--seed N] --rate RPS --requests N \
+//!             [--bench-seed N] [--max-inflight N] [--sweep R1,R2,...]
 //! ```
 //!
 //! `submit` pretty-prints one row per result; `whatif` does the same for
@@ -18,10 +21,20 @@
 //! delta object applied to all jobs); `load` reports throughput, latency
 //! quantiles, and the daemon's cache counters after the run.
 //!
+//! `load` is a **closed loop** (each round waits for the previous
+//! response; the printed rate is a service rate) and labels its summary
+//! `mode=closed-loop`. `bench` is the **open-loop** Poisson benchmark:
+//! arrivals are scheduled at `--rate` regardless of response times,
+//! latency is charged from the scheduled arrival, and the summary line
+//! is labeled `mode=open-loop`. `--sweep R1,R2,...` runs one rung per
+//! offered rate and prints one `sweep ...` row each — the saturation
+//! sweep CI uploads as an artifact.
+//!
 //! The read timeout defaults to 600 s; override with `--timeout-secs N`
 //! or the `PIPM_CLIENT_TIMEOUT_SECS` environment variable (the flag
 //! wins; `0` disables the timeout entirely).
 
+use pipm_serve::bench::{run_open_loop, saturation_sweep, OpenLoopConfig};
 use pipm_serve::client::{load_generate_with_timeout, Client, DEFAULT_READ_TIMEOUT};
 use pipm_serve::json::Json;
 use std::process::ExitCode;
@@ -37,17 +50,24 @@ struct Args {
     seed: Option<u64>,
     clients: usize,
     rounds: usize,
+    rate: f64,
+    requests: usize,
+    bench_seed: u64,
+    max_inflight: usize,
+    sweep: Vec<f64>,
     timeout: Option<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pipm-client [--addr HOST:PORT] [--timeout-secs N] \
-         <status|metrics|shutdown|submit|whatif|load>\n\
-         \x20  submit/whatif/load: --workload W --scheme S (repeatable, zipped pairwise)\n\
+         <status|metrics|shutdown|submit|whatif|load|bench>\n\
+         \x20  submit/whatif/load/bench: --workload W --scheme S (repeatable, zipped pairwise)\n\
          \x20               [--refs N] [--seed N]\n\
          \x20  whatif only: --delta KEY=VALUE (repeatable; late-binding cfg keys)\n\
-         \x20  load only:   [--clients N] [--rounds M]\n\
+         \x20  load only:   [--clients N] [--rounds M]   (closed loop)\n\
+         \x20  bench only:  [--rate RPS] [--requests N] [--bench-seed N]\n\
+         \x20               [--max-inflight N] [--sweep R1,R2,...]   (open loop)\n\
          \x20  --timeout-secs N  read timeout (default 600, 0 = none;\n\
          \x20                    env PIPM_CLIENT_TIMEOUT_SECS)"
     );
@@ -81,6 +101,11 @@ fn parse_args() -> Args {
         seed: None,
         clients: 4,
         rounds: 8,
+        rate: 50.0,
+        requests: 200,
+        bench_seed: 41,
+        max_inflight: 32,
+        sweep: Vec::new(),
         timeout: None,
     };
     let mut timeout_flag: Option<u64> = None;
@@ -101,6 +126,18 @@ fn parse_args() -> Args {
             "--seed" => parsed.seed = Some(parse_num(&value("--seed"), "--seed")),
             "--clients" => parsed.clients = parse_num(&value("--clients"), "--clients"),
             "--rounds" => parsed.rounds = parse_num(&value("--rounds"), "--rounds"),
+            "--rate" => parsed.rate = parse_num(&value("--rate"), "--rate"),
+            "--requests" => parsed.requests = parse_num(&value("--requests"), "--requests"),
+            "--bench-seed" => parsed.bench_seed = parse_num(&value("--bench-seed"), "--bench-seed"),
+            "--max-inflight" => {
+                parsed.max_inflight = parse_num(&value("--max-inflight"), "--max-inflight")
+            }
+            "--sweep" => {
+                parsed.sweep = value("--sweep")
+                    .split(',')
+                    .map(|r| parse_num(r.trim(), "--sweep"))
+                    .collect()
+            }
             "--timeout-secs" => {
                 timeout_flag = Some(parse_num(&value("--timeout-secs"), "--timeout-secs"));
             }
@@ -265,10 +302,23 @@ fn print_metrics(addr: &str, timeout: Option<Duration>) -> std::io::Result<()> {
         u("jobs_failed"),
     );
     println!(
-        "admission: rejected_overloaded={} rejected_invalid={}  uptime_ms={}",
+        "admission: rejected_overloaded={} rejected_invalid={} connections_rejected={}  uptime_ms={}",
         u("rejected_overloaded"),
         u("rejected_invalid"),
+        u("connections_rejected"),
         u("uptime_ms"),
+    );
+    println!(
+        "cluster: mode={} healthy_nodes={} forwarded={} retries={} fallback_local={} \
+         fills_received={} fills_sent={} fills_send_failed={}",
+        m.get("mode").and_then(Json::as_str).unwrap_or("?"),
+        u("healthy_nodes"),
+        u("router_forwarded"),
+        u("router_retries"),
+        u("router_fallback_local"),
+        u("fills_received"),
+        u("fills_sent"),
+        u("fills_send_failed"),
     );
     Ok(())
 }
@@ -315,22 +365,49 @@ fn run() -> std::io::Result<bool> {
             let elapsed = start.elapsed();
             let total = report.ok_rounds + report.error_rounds + report.io_errors;
             println!(
-                "load: {} clients x {} rounds -> {} ok, {} rejected, {} io errors in {} ms",
+                "load: {} clients x {} rounds in {} ms (closed loop: rate below is a \
+                 service rate, not offered load)",
                 args.clients,
                 args.rounds,
-                report.ok_rounds,
-                report.error_rounds,
-                report.io_errors,
                 elapsed.as_millis(),
             );
-            println!(
-                "latency: p50={} ms p90={} ms p99={} ms",
-                report.latency_quantile(0.50).as_millis(),
-                report.latency_quantile(0.90).as_millis(),
-                report.latency_quantile(0.99).as_millis(),
-            );
+            println!("{}", report.summary_line(elapsed));
             print_metrics(&args.addr, args.timeout)?;
             Ok(total > 0 && report.ok_rounds == total)
+        }
+        "bench" => {
+            let line = submit_line(&args, None);
+            if args.sweep.is_empty() {
+                let report = run_open_loop(&OpenLoopConfig {
+                    addr: args.addr.clone(),
+                    request_line: line,
+                    rate_hz: args.rate,
+                    requests: args.requests,
+                    seed: args.bench_seed,
+                    max_inflight: args.max_inflight,
+                    read_timeout: args.timeout,
+                });
+                println!("{}", report.summary_line());
+                print_metrics(&args.addr, args.timeout)?;
+                Ok(report.ok > 0 && report.io_errors == 0)
+            } else {
+                let rows = saturation_sweep(
+                    &args.addr,
+                    &line,
+                    &args.sweep,
+                    args.requests,
+                    args.bench_seed,
+                    args.max_inflight,
+                    args.timeout,
+                );
+                let mut all_ok = true;
+                for row in &rows {
+                    println!("{}", row.summary_line());
+                    all_ok &= row.report.ok > 0 && row.report.io_errors == 0;
+                }
+                print_metrics(&args.addr, args.timeout)?;
+                Ok(all_ok)
+            }
         }
         other => {
             eprintln!("error: unknown command `{other}`");

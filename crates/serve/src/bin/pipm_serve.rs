@@ -1,11 +1,18 @@
-//! `pipm-serve` — the simulation daemon.
+//! `pipm-serve` — the simulation daemon (worker node or router).
 //!
 //! ```text
 //! pipm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
 //!            [--cache-capacity N] [--ckpt-cache-capacity N]
 //!            [--max-batch-jobs N] [--max-refs-per-core N]
-//!            [--read-timeout-secs N]
+//!            [--read-timeout-secs N] [--max-connections N]
+//!            [--route HOST:PORT,HOST:PORT,...] [--peers HOST:PORT,...]
+//!            [--probe-interval-ms N] [--forward-retries N]
 //! ```
+//!
+//! With `--route`, this daemon forwards each job to its consistent-hash
+//! owner among the listed nodes (falling back to local compute when a
+//! node is down). With `--peers`, freshly computed results are pushed
+//! to the listed peers as `fill` requests so they serve warm hits.
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for that
 //! line), serves until a `shutdown` request, then drains and exits 0.
@@ -19,9 +26,25 @@ fn usage() -> ! {
         "usage: pipm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
          \x20                 [--cache-capacity N] [--ckpt-cache-capacity N]\n\
          \x20                 [--max-batch-jobs N] [--max-refs-per-core N]\n\
-         \x20                 [--read-timeout-secs N]"
+         \x20                 [--read-timeout-secs N] [--max-connections N]\n\
+         \x20                 [--route HOST:PORT,...] [--peers HOST:PORT,...]\n\
+         \x20                 [--probe-interval-ms N] [--forward-retries N]"
     );
     std::process::exit(2);
+}
+
+fn addr_list(raw: &str, name: &str) -> Vec<String> {
+    let addrs: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if addrs.is_empty() {
+        eprintln!("error: {name} needs at least one HOST:PORT");
+        usage()
+    }
+    addrs
 }
 
 fn parse_args() -> ServerConfig {
@@ -64,6 +87,20 @@ fn parse_args() -> ServerConfig {
                     "--read-timeout-secs",
                 ))
             }
+            "--max-connections" => {
+                cfg.max_connections = parse_num(&value("--max-connections"), "--max-connections")
+            }
+            "--route" => cfg.route_nodes = addr_list(&value("--route"), "--route"),
+            "--peers" => cfg.peers = addr_list(&value("--peers"), "--peers"),
+            "--probe-interval-ms" => {
+                cfg.probe_interval = Duration::from_millis(parse_num::<u64>(
+                    &value("--probe-interval-ms"),
+                    "--probe-interval-ms",
+                ))
+            }
+            "--forward-retries" => {
+                cfg.forward_retries = parse_num(&value("--forward-retries"), "--forward-retries")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`");
@@ -83,6 +120,11 @@ fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> T {
 
 fn main() -> ExitCode {
     let cfg = parse_args();
+    let mode = if cfg.route_nodes.is_empty() {
+        "node"
+    } else {
+        "router"
+    };
     let server = match Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -91,7 +133,7 @@ fn main() -> ExitCode {
         }
     };
     match server.local_addr() {
-        Ok(addr) => println!("listening on {addr}"),
+        Ok(addr) => println!("listening on {addr} ({mode})"),
         Err(e) => {
             eprintln!("error: no local addr: {e}");
             return ExitCode::FAILURE;

@@ -4,6 +4,15 @@
 //! line back); [`load_generate`] drives N concurrent clients for M
 //! rounds each against a daemon and aggregates latency and error
 //! counts, which is how the CI smoke job observes warm-cache behaviour.
+//!
+//! `load_generate` is a **closed loop**: each client sends its next
+//! round only after the previous response returns, so its "throughput"
+//! is really the daemon's service rate at concurrency N — it can never
+//! overload the daemon, and it under-reports latency under saturation
+//! (coordinated omission). Its reports therefore label themselves
+//! `mode=closed-loop` ([`bench::CLOSED_LOOP_MODE`](crate::bench));
+//! for capacity probing use the open-loop benchmark in
+//! [`bench`](crate::bench) instead.
 
 use crate::json::Json;
 use std::io::{BufRead, BufReader, Write};
@@ -116,6 +125,32 @@ impl LoadReport {
         sorted[rank]
     }
 
+    /// The one-line summary the `pipm-client load` command prints and
+    /// tests assert on. Always begins `load mode=closed-loop`: the
+    /// generator is response-gated, so the rate here is the daemon's
+    /// service rate at this concurrency, **not** an offered load — it
+    /// used to be easy to misread as one (see the open-loop
+    /// counterpart in [`bench`](crate::bench)).
+    pub fn summary_line(&self, elapsed: Duration) -> String {
+        let secs = elapsed.as_secs_f64();
+        let service_rps = if secs > 0.0 {
+            self.ok_rounds as f64 / secs
+        } else {
+            0.0
+        };
+        format!(
+            "load mode={} rounds_ok={} rounds_rejected={} io_errors={} \
+             service_rps={service_rps:.2} p50_ms={:.3} p90_ms={:.3} p99_ms={:.3}",
+            crate::bench::CLOSED_LOOP_MODE,
+            self.ok_rounds,
+            self.error_rounds,
+            self.io_errors,
+            self.latency_quantile(0.50).as_secs_f64() * 1e3,
+            self.latency_quantile(0.90).as_secs_f64() * 1e3,
+            self.latency_quantile(0.99).as_secs_f64() * 1e3,
+        )
+    }
+
     fn merge(&mut self, other: LoadReport) {
         self.ok_rounds += other.ok_rounds;
         self.error_rounds += other.error_rounds;
@@ -203,6 +238,23 @@ pub fn load_generate_with_timeout(
 mod tests {
     use super::*;
     use std::net::TcpListener;
+
+    // Regression test: the closed-loop generator's summary used to
+    // print a bare rate that read as offered load; the discipline is
+    // now part of the line.
+    #[test]
+    fn closed_loop_summary_is_labeled() {
+        let report = LoadReport {
+            ok_rounds: 4,
+            ..LoadReport::default()
+        };
+        let line = report.summary_line(Duration::from_secs(2));
+        assert!(
+            line.starts_with("load mode=closed-loop "),
+            "summary must lead with its mode label: {line}"
+        );
+        assert!(line.contains("service_rps=2.00"), "line: {line}");
+    }
 
     // Regression test: the read timeout used to be hardcoded to 600 s
     // inside `connect`, so a silent daemon wedged every caller for ten

@@ -6,15 +6,23 @@
 //! [`RunCache`](pipm_core::RunCache):
 //!
 //! - **Daemon** ([`server::Server`]): accepts `submit` batches, `status`,
-//!   `metrics`, and `shutdown` requests over loopback TCP. Jobs flow
-//!   through a *bounded admission queue* into a worker pool; when the
-//!   queue is full, batches are rejected with a structured `overloaded`
-//!   error rather than queued unboundedly. Repeated and concurrent
-//!   identical jobs are deduplicated by the run cache, so each unique
-//!   `(workload, scheme, cfg, params)` fingerprint is simulated once.
-//! - **Client** ([`client`]): a thin line-oriented client plus a
-//!   closed-loop load generator used by the `pipm-client` binary and the
-//!   CI smoke test.
+//!   `metrics`, `fill`, and `shutdown` requests over TCP. The front end
+//!   is a std-only non-blocking readiness loop ([`reactor`]) — one
+//!   thread multiplexes every connection, with per-connection deadlines,
+//!   a bounded connection count, and structured `overloaded` shedding.
+//!   Jobs flow through a *bounded admission queue* into a worker pool;
+//!   repeated and concurrent identical jobs are deduplicated by the run
+//!   cache, so each unique `(workload, scheme, cfg, params)`
+//!   fingerprint is simulated once.
+//! - **Cluster** ([`router`]): with `--route`, a daemon consistent-hash
+//!   routes each job to its owner across N worker nodes, forwards fresh
+//!   results as `fill`s so every node serves warm byte-identical hits,
+//!   health-probes its peers, and falls back to local compute when a
+//!   node dies — a kill costs latency, never correctness.
+//! - **Client** ([`client`], [`bench`]): a thin line-oriented client, a
+//!   closed-loop load generator, and an open-loop Poisson benchmark
+//!   (latency percentiles, saturation sweep) used by the `pipm-client`
+//!   binary and the CI smoke tests.
 //! - **Robustness**: malformed input, unknown names, over-limit
 //!   requests, and simulator panics all produce structured error
 //!   responses ([`proto::kind`]) and never terminate the daemon; a
@@ -26,7 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod client;
 pub mod json;
 pub mod proto;
+pub mod reactor;
+pub mod router;
 pub mod server;

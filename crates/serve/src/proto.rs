@@ -10,7 +10,14 @@
 //! {"cmd":"status"}
 //! {"cmd":"metrics"}
 //! {"cmd":"shutdown"}
+//! {"cmd":"fill","fills":[{"key":"job-v1|…","result":"{…encoded…}"}]}
 //! ```
+//!
+//! `fill` is the cluster cache-coherence path: a peer that freshly
+//! computed a job pushes its canonical encoded result string, and the
+//! receiver preloads its run cache with those exact bytes (see
+//! [`RunCache::insert`](pipm_core::RunCache::insert)) — so a job
+//! computed on any node is a warm, byte-identical hit on every node.
 //!
 //! `whatif` is the checkpointed-sweep form of `submit`: each job names a
 //! base configuration (same fields as `submit`, with `warmup_fraction`
@@ -83,6 +90,10 @@ pub struct Job {
     /// `Some` for a `whatif` job: resume a forked checkpoint under a
     /// [`CfgDelta`] instead of running from scratch.
     pub whatif: Option<WhatifSpec>,
+    /// The client's job object re-encoded verbatim, so a router can
+    /// forward the job to its ring owner without lossy re-synthesis
+    /// (the owner re-parses it and derives the identical `key`).
+    pub raw: String,
 }
 
 /// The checkpointed-sweep part of a `whatif` [`Job`].
@@ -109,6 +120,9 @@ pub enum Request {
     Metrics,
     /// Graceful shutdown: drain queued jobs, then exit 0.
     Shutdown,
+    /// Peer cache fills: `(key, canonical encoded result)` pairs to
+    /// preload into the run cache.
+    Fill(Vec<(String, String)>),
 }
 
 /// Per-request admission limits (the daemon's, or a client's mirror).
@@ -199,6 +213,7 @@ pub fn parse_request(line: &str, limits: &RequestLimits) -> Result<Request, Prot
         "shutdown" => Ok(Request::Shutdown),
         "submit" => parse_batch(&root, limits, false).map(Request::Submit),
         "whatif" => parse_batch(&root, limits, true).map(Request::Submit),
+        "fill" => parse_fills(&root).map(Request::Fill),
         other => Err(ProtoError::new(
             kind::MALFORMED,
             format!("unknown cmd `{other}`"),
@@ -331,7 +346,65 @@ fn parse_job(index: usize, job: &Json, limits: &RequestLimits) -> Result<Job, Pr
         params,
         key,
         whatif: None,
+        raw: job.encode(),
     })
+}
+
+/// Largest `fill` batch accepted in one request line.
+const MAX_FILL_BATCH: usize = 256;
+
+fn parse_fills(root: &Json) -> Result<Vec<(String, String)>, ProtoError> {
+    let fills = root
+        .get("fills")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::new(kind::MALFORMED, "fill needs a `fills` array"))?;
+    if fills.is_empty() {
+        return Err(ProtoError::new(kind::BAD_REQUEST, "empty fill batch"));
+    }
+    if fills.len() > MAX_FILL_BATCH {
+        return Err(ProtoError {
+            kind: kind::LIMIT_EXCEEDED,
+            detail: format!(
+                "fill batch of {} exceeds the {MAX_FILL_BATCH}-entry limit",
+                fills.len()
+            ),
+            extra: vec![("max_fill_batch".into(), Json::UInt(MAX_FILL_BATCH as u64))],
+        });
+    }
+    fills
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let key = f.get("key").and_then(Json::as_str).ok_or_else(|| {
+                ProtoError::new(kind::MALFORMED, format!("fill #{i}: missing string `key`"))
+            })?;
+            if key.is_empty() {
+                return Err(ProtoError::new(
+                    kind::BAD_REQUEST,
+                    format!("fill #{i}: empty key"),
+                ));
+            }
+            let result = f.get("result").and_then(Json::as_str).ok_or_else(|| {
+                ProtoError::new(
+                    kind::MALFORMED,
+                    format!("fill #{i}: missing string `result`"),
+                )
+            })?;
+            // A fill preloads bytes the daemon will later serve
+            // verbatim; refuse anything that is not a JSON object so a
+            // buggy (or hostile) peer cannot poison responses.
+            let ok_shape = crate::json::parse(result)
+                .map(|v| v.as_obj().is_some())
+                .unwrap_or(false);
+            if !ok_shape {
+                return Err(ProtoError::new(
+                    kind::BAD_REQUEST,
+                    format!("fill #{i}: `result` is not a JSON object"),
+                ));
+            }
+            Ok((key.to_string(), result.to_string()))
+        })
+        .collect()
 }
 
 /// Upgrades a parsed `submit`-shaped job into a `whatif` job: pins the
@@ -632,6 +705,25 @@ pub fn encode_batch(results: &[Json]) -> String {
     .encode()
 }
 
+/// [`encode_batch`] over *already encoded* result objects, spliced in
+/// as raw bytes. This is the serving path: the run cache stores
+/// canonical encoded strings, and splicing (never decode + re-encode)
+/// is what keeps a response byte-identical whether each result was
+/// computed here, served warm, or filled in by a peer.
+pub fn encode_batch_raw(results: &[String]) -> String {
+    let payload: usize = results.iter().map(String::len).sum();
+    let mut out = String::with_capacity(payload + results.len() + 24);
+    out.push_str(r#"{"ok":true,"results":["#);
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(result);
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,6 +877,79 @@ mod tests {
             let err = parse_request(line, &limits()).unwrap_err();
             assert_eq!(err.kind, want, "line: {line}");
         }
+    }
+
+    #[test]
+    fn fill_parses_and_validates() {
+        let r = parse_request(
+            r#"{"cmd":"fill","fills":[{"key":"job-v1|X","result":"{\"ipc\":0.25}"}]}"#,
+            &limits(),
+        )
+        .unwrap();
+        let Request::Fill(fills) = r else {
+            panic!("expected fill")
+        };
+        assert_eq!(fills.len(), 1);
+        assert_eq!(fills[0].0, "job-v1|X");
+        // The escaped result string is recovered verbatim.
+        assert_eq!(fills[0].1, r#"{"ipc":0.25}"#);
+
+        let cases: [(&str, &str); 5] = [
+            (r#"{"cmd":"fill"}"#, kind::MALFORMED),
+            (r#"{"cmd":"fill","fills":[]}"#, kind::BAD_REQUEST),
+            (
+                r#"{"cmd":"fill","fills":[{"result":"{}"}]}"#,
+                kind::MALFORMED,
+            ),
+            (
+                r#"{"cmd":"fill","fills":[{"key":"","result":"{}"}]}"#,
+                kind::BAD_REQUEST,
+            ),
+            // A result that is not a JSON object cannot be preloaded.
+            (
+                r#"{"cmd":"fill","fills":[{"key":"k","result":"not json"}]}"#,
+                kind::BAD_REQUEST,
+            ),
+        ];
+        for (line, want) in cases {
+            let err = parse_request(line, &limits()).unwrap_err();
+            assert_eq!(err.kind, want, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn raw_job_round_trips_to_the_same_key() {
+        let line = r#"{"cmd":"submit","jobs":[{"workload":"bfs","scheme":"pipm","cfg":{"link_latency_ns":150},"seed":7}]}"#;
+        let Request::Submit(jobs) = parse_request(line, &limits()).unwrap() else {
+            panic!()
+        };
+        // A router forwards `raw` verbatim; the owner node must parse
+        // it back to the identical canonical key.
+        let forwarded = format!(r#"{{"cmd":"submit","jobs":[{}]}}"#, jobs[0].raw);
+        let Request::Submit(again) = parse_request(&forwarded, &limits()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(jobs[0].key, again[0].key);
+        assert_eq!(again[0].raw, jobs[0].raw, "re-encoding is a fixpoint");
+    }
+
+    #[test]
+    fn raw_batch_splice_matches_value_encoding() {
+        let params = WorkloadParams {
+            refs_per_core: 1_000,
+            seed: 3,
+        };
+        let r = pipm_core::run_one(
+            Workload::Bfs,
+            SchemeKind::Pipm,
+            SystemConfig::experiment_scale(),
+            &params,
+        );
+        let key = job_key(r.workload, r.scheme, &r.cfg, &params);
+        let value = encode_result(&r, &params, &key);
+        let by_value = encode_batch(std::slice::from_ref(&value));
+        let by_splice = encode_batch_raw(std::slice::from_ref(&value.encode()));
+        assert_eq!(by_value, by_splice);
     }
 
     #[test]

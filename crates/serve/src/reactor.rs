@@ -1,0 +1,637 @@
+//! A std-only non-blocking readiness loop: the daemon's front end.
+//!
+//! ```text
+//!            ┌────────────── reactor thread ───────────────┐
+//!  accept ──▶│ per-conn read buf ─lines─▶ sink.handle_line │
+//!            │        ▲                        │           │
+//!            │   deadlines, caps        Respond / Batch    │
+//!            │        │                        ▼           │
+//!  write ◀───│ per-conn write buf ◀── pending FIFO ◀─ poll │◀─ workers fill
+//!            └─────────────────────────────────────────────┘      JobSlots
+//! ```
+//!
+//! One thread multiplexes every connection over nonblocking sockets —
+//! no thread per connection, so thousands of concurrent idle
+//! connections cost a few KiB of buffers each, not a stack. The
+//! workspace is std-only (no epoll/kqueue crates), so readiness is
+//! discovered by polling each socket with nonblocking reads/writes and
+//! sleeping briefly when a sweep makes no progress; the sweep is cheap
+//! (one `read` syscall per idle connection) and keeps tail latency in
+//! the low milliseconds, which is noise against multi-millisecond
+//! simulation times.
+//!
+//! Responsibilities and guarantees:
+//!
+//! * **Pipelining with ordered responses.** A connection may send many
+//!   request lines without waiting; each parses immediately and joins a
+//!   per-connection FIFO of pending responses. Responses are written
+//!   strictly in request order (head-of-line: a still-computing batch
+//!   blocks the writes behind it, never the reads).
+//! * **Deadlines.** A connection with no complete request in
+//!   `read_timeout` — idle, or a slow-loris client dribbling a partial
+//!   line — is dropped, unless it still has responses in flight (a
+//!   caller blocked on a long simulation is not idle).
+//! * **Bounded lines.** A request line exceeding `max_line_bytes` gets
+//!   the structured `limit_exceeded` error and the connection is closed
+//!   after the error flushes (mid-line there is no way to resync).
+//! * **Bounded connections.** Beyond `max_connections` concurrent
+//!   connections, new arrivals are handed a structured `overloaded`
+//!   error and closed immediately — load is shed, never silently hung.
+//! * **Drain.** Once the sink reports shutdown, accepting stops, every
+//!   pending response is computed and flushed (bounded by
+//!   `drain_grace`), and the loop returns.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A single-assignment result cell a worker fills and the reactor
+/// polls. The condvar supports blocking consumers (none today, but the
+/// cell is the worker-side contract, so it stays general).
+pub struct JobSlot {
+    done: Mutex<Option<Result<String, String>>>,
+    cv: Condvar,
+}
+
+impl JobSlot {
+    /// An empty slot.
+    pub fn new() -> Arc<Self> {
+        Arc::new(JobSlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Deposits the result (`Ok` = canonical encoded response object,
+    /// `Err` = failure detail) and wakes any blocked waiter.
+    pub fn fill(&self, value: Result<String, String>) {
+        let mut done = self.done.lock().expect("job slot poisoned");
+        *done = Some(value);
+        self.cv.notify_all();
+    }
+
+    /// Takes the result if it has landed; never blocks.
+    pub fn try_take(&self) -> Option<Result<String, String>> {
+        self.done.lock().expect("job slot poisoned").take()
+    }
+}
+
+/// What the protocol layer does with one complete request line.
+pub enum LineOutcome {
+    /// A response is ready now (status, metrics, errors, fills).
+    Respond(String),
+    /// The line admitted a batch; the reactor polls the slots and
+    /// assembles the response once every slot is filled.
+    Batch(Vec<Arc<JobSlot>>),
+}
+
+/// The protocol layer the reactor drives: parsing, admission, batch
+/// assembly, and shutdown state all live behind this trait so the
+/// reactor stays pure I/O.
+pub trait RequestSink: Sync {
+    /// Handles one complete, non-empty request line.
+    fn handle_line(&self, line: &str) -> LineOutcome;
+    /// Assembles the final response for a completed batch, in job
+    /// order.
+    fn finish_batch(&self, results: Vec<Result<String, String>>) -> String;
+    /// When true the reactor stops accepting and drains.
+    fn shutting_down(&self) -> bool;
+    /// An accepted connection (counters).
+    fn on_connection(&self);
+    /// A connection shed at the cap; returns the error line to send.
+    fn on_connection_rejected(&self) -> String;
+    /// A request line exceeded `max_line_bytes`; returns the error line.
+    fn on_oversized_line(&self, max_line_bytes: usize) -> String;
+}
+
+/// Front-end tuning, extracted from the daemon's `ServerConfig`.
+pub struct ReactorConfig {
+    /// Concurrent connection cap; arrivals beyond it are shed.
+    pub max_connections: usize,
+    /// Drop a connection with no complete request for this long (idle
+    /// or slow-loris), unless responses are still in flight.
+    pub read_timeout: Duration,
+    /// Longest accepted request line in bytes.
+    pub max_line_bytes: usize,
+    /// On shutdown, how long to keep flushing pending responses.
+    pub drain_grace: Duration,
+}
+
+/// One pending response in a connection's FIFO.
+enum Pending {
+    /// Encoded and ready to enter the write buffer.
+    Ready(String),
+    /// An admitted batch, polled until every slot is filled.
+    Batch {
+        slots: Vec<Arc<JobSlot>>,
+        results: Vec<Option<Result<String, String>>>,
+    },
+}
+
+/// Per-connection state: buffers, response FIFO, liveness.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes of the line(s) in progress (no complete newline yet).
+    read_buf: Vec<u8>,
+    /// Encoded responses awaiting the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Responses in request order; only the head may be written.
+    pending: VecDeque<Pending>,
+    /// Last time a complete request line arrived (or the connection
+    /// opened); the read deadline measures from here.
+    last_progress: Instant,
+    /// Peer half-closed its write side; serve what's pending, then go.
+    read_closed: bool,
+    /// Fatal protocol state (oversized line): close once flushed.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: VecDeque::new(),
+            last_progress: Instant::now(),
+            read_closed: false,
+            close_after_flush: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.write_pos >= self.write_buf.len()
+    }
+}
+
+/// Runs the readiness loop until the sink shuts down (returning
+/// `Ok(())` after the drain) or the listener fails fatally.
+///
+/// # Errors
+///
+/// Accept-loop I/O errors other than the transient
+/// `WouldBlock`/`Interrupted`/`ConnectionAborted` kinds.
+pub fn run_reactor<S: RequestSink>(
+    listener: TcpListener,
+    cfg: &ReactorConfig,
+    sink: &S,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let mut progressed = false;
+        let draining = sink.shutting_down();
+        if draining {
+            drain_deadline.get_or_insert_with(|| Instant::now() + cfg.drain_grace);
+        } else {
+            progressed |= accept_new(&listener, cfg, sink, &mut conns)?;
+        }
+
+        let now = Instant::now();
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let keep = service_conn(conn, cfg, sink, now, draining, &mut progressed);
+            if keep {
+                i += 1;
+            } else {
+                conns.swap_remove(i);
+            }
+        }
+
+        if draining {
+            let grace_over = drain_deadline.is_some_and(|d| now >= d);
+            if conns.is_empty() || grace_over {
+                return Ok(());
+            }
+        }
+        if !progressed {
+            // Nothing moved this sweep: yield instead of spinning. 1 ms
+            // bounds the added latency well under a simulation's cost.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Accepts every connection currently queued on the listener; sheds
+/// arrivals beyond the cap with a structured error.
+fn accept_new<S: RequestSink>(
+    listener: &TcpListener,
+    cfg: &ReactorConfig,
+    sink: &S,
+    conns: &mut Vec<Conn>,
+) -> std::io::Result<bool> {
+    let mut progressed = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                progressed = true;
+                if conns.len() >= cfg.max_connections {
+                    shed_connection(stream, &sink.on_connection_rejected());
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                sink.on_connection();
+                conns.push(Conn::new(stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(progressed),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::Interrupted | ErrorKind::ConnectionAborted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Best-effort structured rejection of a shed connection: one short
+/// bounded write, then drop. The write is tiny (one error line), so on
+/// loopback it lands in the socket buffer immediately.
+fn shed_connection(stream: TcpStream, error_line: &str) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.write_all(error_line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// One sweep over one connection: read, parse, poll batches, write.
+/// Returns false when the connection should be dropped.
+fn service_conn<S: RequestSink>(
+    conn: &mut Conn,
+    cfg: &ReactorConfig,
+    sink: &S,
+    now: Instant,
+    draining: bool,
+    progressed: &mut bool,
+) -> bool {
+    // ── read & parse ──────────────────────────────────────────────
+    if !conn.read_closed && !conn.close_after_flush {
+        let mut tmp = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut tmp) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    *progressed = true;
+                    conn.read_buf.extend_from_slice(&tmp[..n]);
+                    consume_lines(conn, cfg, sink, now);
+                    if conn.close_after_flush {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    // ── poll batches, promote ready heads into the write buffer ───
+    for pending in conn.pending.iter_mut() {
+        poll_batch(pending, sink);
+    }
+    while let Some(Pending::Ready(_)) = conn.pending.front() {
+        let Some(Pending::Ready(line)) = conn.pending.pop_front() else {
+            unreachable!()
+        };
+        conn.write_buf.extend_from_slice(line.as_bytes());
+        conn.write_buf.push(b'\n');
+    }
+
+    // ── write ─────────────────────────────────────────────────────
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                *progressed = true;
+                conn.write_pos += n;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if conn.flushed() && !conn.write_buf.is_empty() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+
+    // ── lifecycle ─────────────────────────────────────────────────
+    let settled = conn.pending.is_empty() && conn.flushed();
+    if conn.close_after_flush && settled {
+        return false;
+    }
+    if conn.read_closed && settled {
+        return false;
+    }
+    if draining && settled {
+        return false; // drained: nothing more will arrive or depart
+    }
+    if conn.pending.is_empty() && now.duration_since(conn.last_progress) > cfg.read_timeout {
+        return false; // idle, or a slow-loris partial line
+    }
+    true
+}
+
+/// Splits complete lines out of the read buffer and hands them to the
+/// sink; enforces the line-length bound (a buffer that fills the whole
+/// allowance without a newline can never become a valid request).
+fn consume_lines<S: RequestSink>(conn: &mut Conn, cfg: &ReactorConfig, sink: &S, now: Instant) {
+    loop {
+        let Some(nl) = conn.read_buf.iter().position(|b| *b == b'\n') else {
+            if conn.read_buf.len() > cfg.max_line_bytes {
+                oversize(conn, cfg, sink, now);
+            }
+            return;
+        };
+        let line: Vec<u8> = conn.read_buf.drain(..=nl).collect();
+        if line.len() - 1 > cfg.max_line_bytes {
+            oversize(conn, cfg, sink, now);
+            return;
+        }
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        conn.last_progress = now;
+        if text.is_empty() {
+            continue;
+        }
+        match sink.handle_line(text) {
+            LineOutcome::Respond(response) => conn.pending.push_back(Pending::Ready(response)),
+            LineOutcome::Batch(slots) => {
+                let results = vec![None; slots.len()];
+                conn.pending.push_back(Pending::Batch { slots, results });
+            }
+        }
+    }
+}
+
+/// Queues the structured oversize error and poisons the connection
+/// (close after the error flushes; mid-line there is no resync point).
+fn oversize<S: RequestSink>(conn: &mut Conn, cfg: &ReactorConfig, sink: &S, now: Instant) {
+    let response = sink.on_oversized_line(cfg.max_line_bytes);
+    conn.pending.push_back(Pending::Ready(response));
+    conn.last_progress = now;
+    conn.read_buf.clear();
+    conn.close_after_flush = true;
+}
+
+/// Collects any newly finished slots; converts a fully finished batch
+/// into a ready response.
+fn poll_batch<S: RequestSink>(pending: &mut Pending, sink: &S) {
+    let Pending::Batch { slots, results } = pending else {
+        return;
+    };
+    for (slot, result) in slots.iter().zip(results.iter_mut()) {
+        if result.is_none() {
+            *result = slot.try_take();
+        }
+    }
+    if results.iter().all(Option::is_some) {
+        let collected: Vec<Result<String, String>> = results
+            .iter_mut()
+            .map(|r| r.take().expect("all some"))
+            .collect();
+        *pending = Pending::Ready(sink.finish_batch(collected));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+
+    /// A protocol-free sink: echoes lines, parks `job` lines on a slot
+    /// the test fills by hand, and exposes the shutdown flag.
+    struct EchoSink {
+        shutdown: AtomicBool,
+        parked: Mutex<Vec<Arc<JobSlot>>>,
+    }
+
+    impl EchoSink {
+        fn new() -> Arc<EchoSink> {
+            Arc::new(EchoSink {
+                shutdown: AtomicBool::new(false),
+                parked: Mutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl RequestSink for EchoSink {
+        fn handle_line(&self, line: &str) -> LineOutcome {
+            if line == "job" {
+                let slot = JobSlot::new();
+                self.parked.lock().unwrap().push(Arc::clone(&slot));
+                LineOutcome::Batch(vec![slot])
+            } else {
+                LineOutcome::Respond(format!("echo:{line}"))
+            }
+        }
+
+        fn finish_batch(&self, results: Vec<Result<String, String>>) -> String {
+            results
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|e| format!("err:{e}")))
+                .collect::<Vec<_>>()
+                .join("+")
+        }
+
+        fn shutting_down(&self) -> bool {
+            self.shutdown.load(Ordering::SeqCst)
+        }
+
+        fn on_connection(&self) {}
+
+        fn on_connection_rejected(&self) -> String {
+            "overloaded".to_string()
+        }
+
+        fn on_oversized_line(&self, max_line_bytes: usize) -> String {
+            format!("oversized:{max_line_bytes}")
+        }
+    }
+
+    struct Harness {
+        addr: String,
+        sink: Arc<EchoSink>,
+        handle: thread::JoinHandle<std::io::Result<()>>,
+    }
+
+    impl Harness {
+        fn start(cfg: ReactorConfig) -> Harness {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let sink = EchoSink::new();
+            let worker = Arc::clone(&sink);
+            let handle = thread::spawn(move || run_reactor(listener, &cfg, &*worker));
+            Harness { addr, sink, handle }
+        }
+
+        fn connect(&self) -> (TcpStream, BufReader<TcpStream>) {
+            let stream = TcpStream::connect(&self.addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            (stream, reader)
+        }
+
+        fn stop(self) {
+            self.sink.shutdown.store(true, Ordering::SeqCst);
+            self.handle.join().unwrap().unwrap();
+        }
+    }
+
+    fn cfg() -> ReactorConfig {
+        ReactorConfig {
+            max_connections: 16,
+            read_timeout: Duration::from_secs(5),
+            max_line_bytes: 1024,
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+
+    fn round_trip(w: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str) -> String {
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        resp.trim_end().to_string()
+    }
+
+    #[test]
+    fn slow_loris_is_dropped_without_stalling_others() {
+        let h = Harness::start(ReactorConfig {
+            read_timeout: Duration::from_millis(150),
+            ..cfg()
+        });
+        // The loris sends a partial line and then nothing, forever.
+        let (mut loris, _loris_r) = h.connect();
+        loris.write_all(b"{\"partial").unwrap();
+        // A healthy connection keeps being served the whole time the
+        // loris is waiting out its deadline.
+        let (mut w, mut r) = h.connect();
+        for i in 0..5 {
+            assert_eq!(
+                round_trip(&mut w, &mut r, &format!("ping{i}")),
+                format!("echo:ping{i}")
+            );
+            thread::sleep(Duration::from_millis(60));
+        }
+        // 5 × 60 ms > the 150 ms deadline: the loris must be gone — its
+        // socket reads EOF (server closed it), not a hang.
+        loris
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 8];
+        let n = loris.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "loris connection should have been closed");
+        h.stop();
+    }
+
+    #[test]
+    fn oversized_line_gets_structured_error_then_close() {
+        let h = Harness::start(ReactorConfig {
+            max_line_bytes: 64,
+            ..cfg()
+        });
+        let (mut w, mut r) = h.connect();
+        let mut big = vec![b'x'; 200];
+        big.push(b'\n');
+        w.write_all(&big).unwrap();
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "oversized:64");
+        // Mid-line there is no resync point: the connection closes
+        // after the error flushes (EOF, or a reset if the tail of the
+        // oversized line was still in flight).
+        let mut rest = String::new();
+        let n = r.read_line(&mut rest).unwrap_or(0);
+        assert_eq!(n, 0, "connection should close after the error");
+        h.stop();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_structured_error_not_a_hang() {
+        let h = Harness::start(ReactorConfig {
+            max_connections: 2,
+            ..cfg()
+        });
+        // Fill the cap, with a round trip each so both connections are
+        // registered before the third arrives.
+        let (mut w1, mut r1) = h.connect();
+        assert_eq!(round_trip(&mut w1, &mut r1, "a"), "echo:a");
+        let (mut w2, mut r2) = h.connect();
+        assert_eq!(round_trip(&mut w2, &mut r2, "b"), "echo:b");
+        // The third is shed immediately with the structured error.
+        let (_w3, mut r3) = h.connect();
+        let mut resp = String::new();
+        r3.read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "overloaded");
+        let mut rest = String::new();
+        assert_eq!(r3.read_line(&mut rest).unwrap_or(0), 0);
+        // The registered connections still work.
+        assert_eq!(round_trip(&mut w1, &mut r1, "c"), "echo:c");
+        h.stop();
+    }
+
+    #[test]
+    fn responses_stay_in_request_order_behind_a_pending_batch() {
+        let h = Harness::start(cfg());
+        let (mut w, mut r) = h.connect();
+        // Pipelined: a parked batch, then an instant echo. The echo
+        // must NOT overtake the batch response.
+        w.write_all(b"job\nping\n").unwrap();
+        thread::sleep(Duration::from_millis(100));
+        let slot = loop {
+            if let Some(slot) = h.sink.parked.lock().unwrap().pop() {
+                break slot;
+            }
+            thread::sleep(Duration::from_millis(5));
+        };
+        slot.fill(Ok("done".to_string()));
+        let mut first = String::new();
+        r.read_line(&mut first).unwrap();
+        assert_eq!(first.trim_end(), "done");
+        let mut second = String::new();
+        r.read_line(&mut second).unwrap();
+        assert_eq!(second.trim_end(), "echo:ping");
+        h.stop();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_batches_before_exit() {
+        let h = Harness::start(cfg());
+        let (mut w, mut r) = h.connect();
+        w.write_all(b"job\n").unwrap();
+        loop {
+            if !h.sink.parked.lock().unwrap().is_empty() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Shutdown with the batch still computing: the reactor must
+        // wait for the fill and flush the response before returning.
+        h.sink.shutdown.store(true, Ordering::SeqCst);
+        thread::sleep(Duration::from_millis(50));
+        let slot = h.sink.parked.lock().unwrap().pop().unwrap();
+        slot.fill(Ok("late".to_string()));
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "late");
+        h.handle.join().unwrap().unwrap();
+    }
+}

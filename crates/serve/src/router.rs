@@ -1,0 +1,496 @@
+//! Horizontal sharding: consistent-hash routing, peer cache fills, and
+//! graceful degradation.
+//!
+//! ```text
+//!            router (pipm-serve --route A,B,C)
+//!   client ──▶ hash ring over job_key ──▶ owner node ──▶ result
+//!                    │                        ✗ dead?
+//!                    └── retry w/ backoff ──▶ local fallback compute
+//!
+//!   node A computes job J ──fill──▶ node B, node C   (J is now a hit
+//!                                                     cluster-wide)
+//! ```
+//!
+//! Three cooperating pieces, all std-only:
+//!
+//! * [`HashRing`] — consistent hashing of canonical `job_key`s onto
+//!   node addresses with virtual nodes, so adding/removing a node
+//!   remaps only its arc of the key space and identical jobs always
+//!   land on the same node (maximizing that node's run-cache hits).
+//! * [`RouterState`] — per-node health (background probe thread plus
+//!   demotion on forward failure), forwarding with bounded
+//!   retry-with-backoff, and **local fallback compute**: when the owner
+//!   node is unreachable the router runs the simulation itself, so a
+//!   node kill costs latency, never correctness or availability.
+//! * [`FillForwarder`] — a background thread draining a bounded queue
+//!   of freshly computed `(key, canonical result)` pairs to every peer
+//!   as `fill` requests. Fills are an optimization: failures are
+//!   counted, never retried, and received fills do not re-announce
+//!   (see `RunCache::set_fill_hook`), so gossip cannot loop.
+//!
+//! Forwarded results are spliced out of the node's response *as raw
+//! bytes* — never decoded and re-encoded — so a routed response is
+//! byte-identical to the single-node response for the same job.
+
+use crate::proto::Job;
+use pipm_core::fingerprint64;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Virtual nodes per physical node: enough to keep the largest arc
+/// within a few percent of fair at small cluster sizes.
+const VNODES: usize = 64;
+
+/// Ring position of a string. FNV-1a alone clusters badly on the short,
+/// similar strings rings hash (`host:port|vnode=i`, `job-v1|…`), so the
+/// fingerprint goes through a splitmix64-style finalizer to spread the
+/// points uniformly around the u64 circle.
+fn ring_hash(s: &str) -> u64 {
+    let mut z = fingerprint64(s).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over node addresses.
+///
+/// Each node contributes [`VNODES`] points (FNV-1a of `addr|vnode=i`);
+/// a key is owned by the first point clockwise of the key's own hash.
+pub struct HashRing {
+    nodes: Vec<String>,
+    /// Sorted `(point_hash, node_index)` pairs.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring. `nodes` must be non-empty and is kept in the
+    /// given order (indices into it are what [`owner`](Self::owner)
+    /// returns).
+    pub fn new(nodes: Vec<String>) -> HashRing {
+        assert!(!nodes.is_empty(), "hash ring needs at least one node");
+        let mut points = Vec::with_capacity(nodes.len() * VNODES);
+        for (i, node) in nodes.iter().enumerate() {
+            for v in 0..VNODES {
+                points.push((ring_hash(&format!("{node}|vnode={v}")), i));
+            }
+        }
+        points.sort_unstable();
+        HashRing { nodes, points }
+    }
+
+    /// The node addresses, in construction order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Index (into [`nodes`](Self::nodes)) of the node owning `key`.
+    pub fn owner(&self, key: &str) -> usize {
+        let h = ring_hash(key);
+        let at = self.points.partition_point(|(p, _)| *p < h);
+        let (_, node) = self.points[if at == self.points.len() { 0 } else { at }];
+        node
+    }
+
+    /// Address of the node owning `key`.
+    pub fn owner_addr(&self, key: &str) -> &str {
+        &self.nodes[self.owner(key)]
+    }
+}
+
+/// Forwarding/health knobs for a router.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Worker node addresses (the ring).
+    pub nodes: Vec<String>,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-attempt response read timeout (a forwarded cold job is a
+    /// real simulation; keep this generous).
+    pub forward_timeout: Duration,
+    /// Additional forward attempts against the owner after the first
+    /// fails, each preceded by a backoff sleep.
+    pub retries: u32,
+    /// Base backoff; attempt `n` sleeps `n * backoff`.
+    pub backoff: Duration,
+    /// Health probe period.
+    pub probe_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            nodes: Vec::new(),
+            connect_timeout: Duration::from_secs(2),
+            forward_timeout: Duration::from_secs(600),
+            retries: 1,
+            backoff: Duration::from_millis(50),
+            probe_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Router-side counters (all monotonic), surfaced through `metrics`.
+#[derive(Default)]
+pub struct RouterCounters {
+    /// Jobs answered by the owning node.
+    pub forwarded: AtomicU64,
+    /// Forward attempts that failed at the transport level.
+    pub retries: AtomicU64,
+    /// Jobs computed locally because the owner was unreachable (or
+    /// returned a non-OK response).
+    pub fallback_local: AtomicU64,
+}
+
+/// The routing half of a `pipm-serve --route` daemon.
+pub struct RouterState {
+    ring: HashRing,
+    cfg: RouterConfig,
+    healthy: Vec<AtomicBool>,
+    /// Counters for `metrics`.
+    pub counters: RouterCounters,
+}
+
+impl RouterState {
+    /// Builds the routing state; every node starts presumed healthy.
+    pub fn new(cfg: RouterConfig) -> Arc<RouterState> {
+        let ring = HashRing::new(cfg.nodes.clone());
+        let healthy = (0..ring.nodes().len())
+            .map(|_| AtomicBool::new(true))
+            .collect();
+        Arc::new(RouterState {
+            ring,
+            cfg,
+            healthy,
+            counters: RouterCounters::default(),
+        })
+    }
+
+    /// The ring (exposed so tests can pick a job owned by a given node).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Number of nodes currently marked healthy.
+    pub fn healthy_nodes(&self) -> usize {
+        self.healthy
+            .iter()
+            .filter(|h| h.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Executes one job: forward to the ring owner (retrying with
+    /// backoff over transient failures), or fall back to `local`
+    /// compute when the owner is down — the caller always gets a
+    /// correct canonical result object, whatever the cluster's state.
+    pub fn execute(&self, job: &Job, local: impl FnOnce() -> String) -> String {
+        let owner = self.ring.owner(&job.key);
+        if self.healthy[owner].load(Ordering::Relaxed) {
+            let addr = &self.ring.nodes()[owner];
+            for attempt in 0..=self.cfg.retries {
+                if attempt > 0 {
+                    std::thread::sleep(self.cfg.backoff * attempt);
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                match self.forward(addr, job) {
+                    Ok(result) => {
+                        self.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                        return result;
+                    }
+                    Err(ForwardError::Transport) => continue,
+                    // A structured node-side error is deterministic;
+                    // retrying the same bytes cannot help. Local
+                    // compute can (the router validated the job).
+                    Err(ForwardError::Rejected) => break,
+                }
+            }
+            self.healthy[owner].store(false, Ordering::Relaxed);
+        }
+        self.counters.fallback_local.fetch_add(1, Ordering::Relaxed);
+        local()
+    }
+
+    /// One forward: a fresh connection, a single-job request line, one
+    /// response line, and a raw byte splice of the result object.
+    fn forward(&self, addr: &str, job: &Job) -> Result<String, ForwardError> {
+        let cmd = if job.whatif.is_some() {
+            "whatif"
+        } else {
+            "submit"
+        };
+        let line = format!(r#"{{"cmd":"{cmd}","jobs":[{}]}}"#, job.raw);
+        let response = request_once(
+            addr,
+            &line,
+            self.cfg.connect_timeout,
+            self.cfg.forward_timeout,
+        )
+        .ok_or(ForwardError::Transport)?;
+        // The node's batch encoding is canonical; for a single job the
+        // result object is exactly the bytes between the fixed prefix
+        // and suffix. Splicing (never re-encoding) preserves
+        // byte-identity with a single-node response.
+        response
+            .strip_prefix(r#"{"ok":true,"results":["#)
+            .and_then(|rest| rest.strip_suffix("]}"))
+            .map(str::to_string)
+            .ok_or(ForwardError::Rejected)
+    }
+
+    /// Spawns the health-probe thread: every `probe_interval`, each
+    /// node gets a `status` request; the result flips its health bit
+    /// (dead nodes revive automatically when they answer again). The
+    /// thread exits when `stop` flips (daemon shutdown).
+    pub fn spawn_probe(self: &Arc<Self>, stop: Arc<AtomicBool>) {
+        let state = Arc::clone(self);
+        std::thread::spawn(move || {
+            let probe_timeout = Duration::from_secs(2);
+            while !stop.load(Ordering::SeqCst) {
+                for (i, addr) in state.ring.nodes().iter().enumerate() {
+                    let alive = request_once(
+                        addr,
+                        r#"{"cmd":"status"}"#,
+                        state.cfg.connect_timeout,
+                        probe_timeout,
+                    )
+                    .is_some();
+                    state.healthy[i].store(alive, Ordering::Relaxed);
+                }
+                // Sleep in short slices so shutdown is prompt.
+                let deadline = Instant::now() + state.cfg.probe_interval;
+                while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        });
+    }
+}
+
+enum ForwardError {
+    /// Connect/write/read failed; the node may be down (retryable).
+    Transport,
+    /// The node answered with a non-OK response (not retryable).
+    Rejected,
+}
+
+/// One request/response round trip on a fresh connection, all failures
+/// flattened to `None` (callers only branch on success).
+fn request_once(
+    addr: &str,
+    line: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Option<String> {
+    let sock_addr = addr.to_socket_addrs().ok()?.next()?;
+    let stream = TcpStream::connect_timeout(&sock_addr, connect_timeout).ok()?;
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(read_timeout)).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(line.as_bytes()).ok()?;
+    writer.write_all(b"\n").ok()?;
+    writer.flush().ok()?;
+    let mut response = String::new();
+    let n = BufReader::new(stream).read_line(&mut response).ok()?;
+    (n > 0).then(|| response.trim_end().to_string())
+}
+
+/// Longest fill backlog retained; beyond it the oldest announcements
+/// are dropped (fills are an optimization, not a durability promise).
+const FILL_QUEUE_CAP: usize = 1024;
+/// Fills drained per forwarding round trip (batched into one line).
+const FILL_BATCH: usize = 16;
+
+/// Background peer cache-fill forwarding: freshly computed results are
+/// enqueued (via `RunCache::set_fill_hook`) and pushed to every peer,
+/// so a job computed on any node becomes a warm hit cluster-wide.
+pub struct FillForwarder {
+    peers: Vec<String>,
+    queue: Mutex<VecDeque<(String, String)>>,
+    cv: Condvar,
+    stop: Arc<AtomicBool>,
+    /// Fill entries successfully delivered (per peer per entry).
+    pub sent: AtomicU64,
+    /// Delivery attempts that failed (peer down — never retried).
+    pub send_failed: AtomicU64,
+    /// Entries dropped because the backlog was full.
+    pub dropped: AtomicU64,
+}
+
+impl FillForwarder {
+    /// Starts the forwarder thread pushing to `peers` until `stop`
+    /// flips at daemon shutdown.
+    pub fn start(peers: Vec<String>, stop: Arc<AtomicBool>) -> Arc<FillForwarder> {
+        let fw = Arc::new(FillForwarder {
+            peers,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop,
+            sent: AtomicU64::new(0),
+            send_failed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&fw);
+        std::thread::spawn(move || worker.run());
+        fw
+    }
+
+    /// Enqueues one freshly computed `(key, canonical result)` pair.
+    pub fn announce(&self, key: &str, result: &str) {
+        let mut queue = self.queue.lock().expect("fill queue poisoned");
+        if queue.len() >= FILL_QUEUE_CAP {
+            queue.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push_back((key.to_string(), result.to_string()));
+        drop(queue);
+        self.cv.notify_one();
+    }
+
+    /// Entries waiting to be pushed (tests poll this to zero).
+    pub fn backlog(&self) -> usize {
+        self.queue.lock().expect("fill queue poisoned").len()
+    }
+
+    fn run(&self) {
+        loop {
+            let batch = {
+                let mut queue = self.queue.lock().expect("fill queue poisoned");
+                while queue.is_empty() {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (guard, _timeout) = self
+                        .cv
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .expect("fill queue poisoned");
+                    queue = guard;
+                }
+                let take = queue.len().min(FILL_BATCH);
+                queue.drain(..take).collect::<Vec<_>>()
+            };
+            let line = encode_fill_line(&batch);
+            for peer in &self.peers {
+                let delivered =
+                    request_once(peer, &line, Duration::from_secs(1), Duration::from_secs(5))
+                        .is_some();
+                if delivered {
+                    self.sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                } else {
+                    self.send_failed
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes a batch of fills as one `fill` request line. The result
+/// objects travel as JSON *strings* (escaped, recovered verbatim on
+/// parse), so the receiving cache stores exactly the bytes the
+/// computing node would have served.
+fn encode_fill_line(batch: &[(String, String)]) -> String {
+    use crate::json::Json;
+    let fills = batch
+        .iter()
+        .map(|(key, result)| {
+            Json::Obj(vec![
+                ("key".to_string(), Json::Str(key.clone())),
+                ("result".to_string(), Json::Str(result.clone())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("fill".to_string())),
+        ("fills".to_string(), Json::Arr(fills)),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring3() -> HashRing {
+        HashRing::new(vec![
+            "10.0.0.1:7457".to_string(),
+            "10.0.0.2:7457".to_string(),
+            "10.0.0.3:7457".to_string(),
+        ])
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_total() {
+        let a = ring3();
+        let b = ring3();
+        for i in 0..500 {
+            let key = format!("job-v1|BFS|PIPM|refs={i}|seed=41");
+            let owner = a.owner(&key);
+            assert_eq!(owner, b.owner(&key), "ring must be deterministic");
+            assert!(owner < 3);
+            assert_eq!(a.owner_addr(&key), &a.nodes()[owner]);
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_all_nodes() {
+        let ring = ring3();
+        let mut counts = [0usize; 3];
+        for i in 0..3000 {
+            counts[ring.owner(&format!("job-v1|key-{i}"))] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            // Fairness within a loose band: each node owns 1/3 ± 2/3.
+            assert!(
+                (300..=1800).contains(c),
+                "node {i} owns {c} of 3000 keys — ring badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_own_keys() {
+        let full = ring3();
+        let reduced = HashRing::new(vec![
+            "10.0.0.1:7457".to_string(),
+            "10.0.0.2:7457".to_string(),
+        ]);
+        let mut moved = 0;
+        let total = 2000;
+        for i in 0..total {
+            let key = format!("job-v1|key-{i}");
+            let before = full.owner(&key);
+            let after = reduced.owner(&key);
+            if before < 2 {
+                // Keys not owned by the removed node must stay put —
+                // that is the consistent-hashing contract.
+                assert_eq!(before, after, "key {key} moved needlessly");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the removed node owned nothing?");
+    }
+
+    #[test]
+    fn fill_line_round_trips_result_bytes_exactly() {
+        let result = r#"{"workload":"BFS","ipc":0.25,"note":"q\"uote"}"#;
+        let line = encode_fill_line(&[("k1".to_string(), result.to_string())]);
+        let parsed = crate::json::parse(&line).expect("fill line parses");
+        assert_eq!(
+            parsed.get("cmd").and_then(crate::json::Json::as_str),
+            Some("fill")
+        );
+        let fills = parsed
+            .get("fills")
+            .and_then(crate::json::Json::as_arr)
+            .expect("fills array");
+        assert_eq!(
+            fills[0].get("result").and_then(crate::json::Json::as_str),
+            Some(result),
+            "escaped result string must be recovered verbatim"
+        );
+    }
+}

@@ -1,31 +1,45 @@
-//! The daemon: TCP accept loop, bounded admission queue, worker pool.
+//! The daemon: readiness-loop front end, bounded admission queue,
+//! worker pool, and (optionally) the routing/fill layer.
 //!
 //! ```text
-//!  connections ──parse──▶ admission queue (bounded) ──▶ workers ──▶ RunCache
-//!       ▲                        │ full?                    │
-//!       └──── structured error ◀─┘          run_one / cache hit / dedup
+//!  reactor (one thread, N conns) ──parse──▶ admission queue ──▶ workers
+//!        ▲                                        │ full?           │
+//!        └────────── structured error ◀───────────┘      run_one / hit
+//!                                                        or forward to
+//!                                                        ring owner
 //! ```
 //!
-//! Every connection gets its own handler thread with a read timeout; a
-//! `submit` batch is admitted atomically (all jobs or a structured
-//! `overloaded` rejection), then the handler blocks until the worker
-//! pool has filled every job slot and writes one canonical response
-//! line. `shutdown` flips a flag: the accept loop stops, workers drain
-//! the queue, and [`Server::run`] returns `Ok(())`.
+//! The front end is [`reactor::run_reactor`]: one thread multiplexes
+//! every connection over nonblocking sockets, so concurrency is bounded
+//! by `max_connections`, not by thread count. A `submit` batch is
+//! admitted atomically (all jobs or a structured `overloaded`
+//! rejection); workers fill per-job [`JobSlot`]s the reactor polls, and
+//! the response line is written once the whole batch has landed.
+//!
+//! The run cache stores **canonical encoded result strings**, not
+//! parsed values: a hit, a peer fill, and a fresh compute all serve the
+//! exact same bytes, which is what makes cross-node responses
+//! byte-identical. With `route_nodes` set the daemon is a *router*
+//! (jobs forward to their [`HashRing`](crate::router::HashRing) owner,
+//! falling back to local compute); with `peers` set it pushes fresh
+//! computes to its peer nodes as `fill` requests. `shutdown` flips a
+//! flag: the reactor drains open connections, workers drain the queue,
+//! and [`Server::run`] returns `Ok(())`.
 
 use crate::json::Json;
-use crate::proto::{
-    self, encode_batch, encode_result, kind, Job, ProtoError, Request, RequestLimits,
-};
-use pipm_core::{resume_one, run_one, run_prefix_one, Checkpoint, RunCache, RunResult};
+use crate::proto::{self, encode_batch_raw, encode_result, kind, Job, ProtoError, Request};
+use crate::reactor::{self, JobSlot, LineOutcome, ReactorConfig, RequestSink};
+use crate::router::{FillForwarder, RouterConfig, RouterState};
+use pipm_core::{resume_one, run_one, run_prefix_one, Checkpoint, RunCache};
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+pub use crate::proto::RequestLimits;
 
 /// Daemon tuning knobs. [`ServerConfig::default`] suits tests and the
 /// CI smoke job; the `pipm-serve` binary exposes each as a flag.
@@ -46,10 +60,28 @@ pub struct ServerConfig {
     pub ckpt_cache_capacity: usize,
     /// Per-request validation limits and defaults.
     pub limits: RequestLimits,
-    /// Per-connection read timeout; an idle connection is closed.
+    /// Per-connection read deadline: a connection with no complete
+    /// request for this long (idle or slow-loris) is dropped, unless it
+    /// has responses in flight.
     pub read_timeout: Duration,
     /// Longest accepted request line in bytes.
     pub max_line_bytes: usize,
+    /// Concurrent connection cap; arrivals beyond it are shed with a
+    /// structured `overloaded` error instead of hanging.
+    pub max_connections: usize,
+    /// Non-empty makes this daemon a **router**: jobs consistent-hash
+    /// to these worker-node addresses on their canonical `job_key`.
+    pub route_nodes: Vec<String>,
+    /// Peer node addresses to push fresh computes to as `fill`
+    /// requests (usually the other worker nodes in the cluster). Can
+    /// also be set after bind via [`Server::set_peers`].
+    pub peers: Vec<String>,
+    /// Router health-probe period.
+    pub probe_interval: Duration,
+    /// Router per-attempt forward response timeout.
+    pub forward_timeout: Duration,
+    /// Router forward retries against the owner before local fallback.
+    pub forward_retries: u32,
 }
 
 impl Default for ServerConfig {
@@ -63,73 +95,63 @@ impl Default for ServerConfig {
             limits: RequestLimits::default(),
             read_timeout: Duration::from_secs(30),
             max_line_bytes: 1 << 20,
+            max_connections: 1024,
+            route_nodes: Vec::new(),
+            peers: Vec::new(),
+            probe_interval: Duration::from_millis(500),
+            forward_timeout: Duration::from_secs(600),
+            forward_retries: 1,
         }
     }
 }
+
+/// On shutdown, how long open connections get to finish and flush.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// Counters surfaced by the `metrics` command (admission-side; cache
 /// counters come from [`RunCache::stats`](pipm_core::RunCache::stats)).
 #[derive(Default)]
 struct Counters {
     connections: AtomicU64,
+    connections_rejected: AtomicU64,
     requests: AtomicU64,
     jobs_admitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     rejected_overloaded: AtomicU64,
     rejected_invalid: AtomicU64,
+    fills_received: AtomicU64,
 }
 
-/// One admitted job: what to run, and where the handler waits for it.
+/// One admitted job: what to run, and the slot the reactor polls.
 struct QueuedJob {
     job: Job,
     slot: Arc<JobSlot>,
 }
 
-/// A single-assignment result slot a connection handler blocks on.
-struct JobSlot {
-    done: Mutex<Option<Result<Json, String>>>,
-    cv: Condvar,
-}
-
-impl JobSlot {
-    fn new() -> Arc<Self> {
-        Arc::new(JobSlot {
-            done: Mutex::new(None),
-            cv: Condvar::new(),
-        })
-    }
-
-    fn fill(&self, value: Result<Json, String>) {
-        let mut done = self.done.lock().unwrap();
-        *done = Some(value);
-        self.cv.notify_all();
-    }
-
-    fn wait(&self) -> Result<Json, String> {
-        let mut done = self.done.lock().unwrap();
-        loop {
-            if let Some(v) = done.take() {
-                return v;
-            }
-            done = self.cv.wait(done).unwrap();
-        }
-    }
-}
-
 struct Shared {
     cfg: ServerConfig,
-    cache: RunCache<RunResult>,
+    /// Canonical encoded result strings keyed by `Job::key` — storing
+    /// the bytes (not the parsed value) is what guarantees a hit, a
+    /// fill, and a fresh compute are byte-identical on the wire.
+    cache: RunCache<String>,
     // Warmed prefixes for `whatif` jobs; cloning an entry out *is* the
     // fork operation (Checkpoint::clone re-creates every stream at its
-    // exact generator position).
+    // exact generator position). Checkpoints are node-local: only the
+    // (small) encoded results travel between nodes.
     ckpt_cache: RunCache<Checkpoint>,
     queue: Mutex<VecDeque<QueuedJob>>,
     queue_cv: Condvar,
-    shutdown: AtomicBool,
-    active_connections: AtomicUsize,
+    shutdown: Arc<AtomicBool>,
     counters: Counters,
     started: Instant,
+    /// `Some` when this daemon routes instead of (only) computing.
+    router: Option<Arc<RouterState>>,
+    /// Fill-forward targets; mutable until [`Server::run`] starts the
+    /// forwarder (tests bind all nodes first, then wire peers).
+    fill_peers: Mutex<Vec<String>>,
+    /// The running fill forwarder, for metrics.
+    forwarder: Mutex<Option<Arc<FillForwarder>>>,
 }
 
 impl Shared {
@@ -180,6 +202,32 @@ impl Shared {
         Ok(slots)
     }
 
+    /// Runs one job on this machine and encodes it canonically — the
+    /// compute path for worker nodes, and the router's fallback when a
+    /// job's ring owner is unreachable.
+    fn compute_local(&self, job: &Job) -> String {
+        let result = match &job.whatif {
+            None => run_one(job.workload, job.scheme, job.cfg.clone(), &job.params),
+            // A whatif job reruns only the tail: the warmed prefix is
+            // computed once per base (dedup'd across workers by the
+            // checkpoint cache) and forked by cloning the cached entry
+            // out.
+            Some(w) => {
+                let ckpt = self.ckpt_cache.get_or_compute(&w.ckpt_key, || {
+                    run_prefix_one(
+                        job.workload,
+                        job.scheme,
+                        job.cfg.clone(),
+                        &job.params,
+                        w.prefix_refs,
+                    )
+                });
+                resume_one(job.workload, job.scheme, ckpt, &w.delta)
+            }
+        };
+        encode_result(&result, &job.params, &job.key).encode()
+    }
+
     /// Worker loop: pop, run through the cache, fill the slot. Exits
     /// once shutdown is flagged *and* the queue is drained.
     fn worker(&self) {
@@ -209,30 +257,18 @@ impl Shared {
             // inside the simulator (hostile cfg) releases the in-flight
             // claim and surfaces as a structured `internal` error.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.cache.get_or_compute(&job.key, || match &job.whatif {
-                    None => run_one(job.workload, job.scheme, job.cfg.clone(), &job.params),
-                    // A whatif job reruns only the tail: the warmed
-                    // prefix is computed once per base (dedup'd across
-                    // workers by the checkpoint cache) and forked by
-                    // cloning the cached entry out.
-                    Some(w) => {
-                        let ckpt = self.ckpt_cache.get_or_compute(&w.ckpt_key, || {
-                            run_prefix_one(
-                                job.workload,
-                                job.scheme,
-                                job.cfg.clone(),
-                                &job.params,
-                                w.prefix_refs,
-                            )
-                        });
-                        resume_one(job.workload, job.scheme, ckpt, &w.delta)
-                    }
+                self.cache.get_or_compute(&job.key, || match &self.router {
+                    // Router: the ring owner computes (maximizing its
+                    // cache locality); an unreachable owner degrades to
+                    // computing right here — correct either way.
+                    Some(router) => router.execute(&job, || self.compute_local(&job)),
+                    None => self.compute_local(&job),
                 })
             }));
             match outcome {
-                Ok(result) => {
+                Ok(encoded) => {
                     self.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
-                    slot.fill(Ok(encode_result(&result, &job.params, &job.key)));
+                    slot.fill(Ok(encoded));
                 }
                 Err(payload) => {
                     self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
@@ -247,14 +283,52 @@ impl Shared {
         }
     }
 
+    /// Applies a batch of peer fills. `RunCache::insert` is a preload:
+    /// it never fires the fill hook, so received fills are not
+    /// re-announced and gossip cannot loop.
+    fn apply_fills(&self, fills: Vec<(String, String)>) -> String {
+        let count = fills.len() as u64;
+        for (key, result) in fills {
+            self.cache.insert(&key, result);
+        }
+        self.counters
+            .fills_received
+            .fetch_add(count, Ordering::Relaxed);
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("filled".into(), Json::UInt(count)),
+        ])
+        .encode()
+    }
+
     fn metrics_response(&self) -> String {
         let cache = self.cache.stats();
         let ckpt = self.ckpt_cache.stats();
         let queue_depth = self.queue.lock().unwrap().len() as u64;
         let c = &self.counters;
         let get = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
+        let (fills_sent, fills_send_failed, fills_dropped) =
+            match self.forwarder.lock().unwrap().as_ref() {
+                Some(fw) => (
+                    fw.sent.load(Ordering::Relaxed),
+                    fw.send_failed.load(Ordering::Relaxed),
+                    fw.dropped.load(Ordering::Relaxed),
+                ),
+                None => (0, 0, 0),
+            };
+        let (mode, healthy, forwarded, retries, fallback) = match &self.router {
+            Some(r) => (
+                "router",
+                r.healthy_nodes() as u64,
+                r.counters.forwarded.load(Ordering::Relaxed),
+                r.counters.retries.load(Ordering::Relaxed),
+                r.counters.fallback_local.load(Ordering::Relaxed),
+            ),
+            None => ("node", 0, 0, 0, 0),
+        };
         Json::Obj(vec![
             ("ok".into(), Json::Bool(true)),
+            ("mode".into(), Json::Str(mode.into())),
             (
                 "uptime_ms".into(),
                 Json::UInt(self.started.elapsed().as_millis() as u64),
@@ -265,6 +339,11 @@ impl Shared {
                 Json::UInt(self.cfg.queue_capacity as u64),
             ),
             ("connections".into(), get(&c.connections)),
+            ("connections_rejected".into(), get(&c.connections_rejected)),
+            (
+                "max_connections".into(),
+                Json::UInt(self.cfg.max_connections as u64),
+            ),
             ("requests".into(), get(&c.requests)),
             ("jobs_admitted".into(), get(&c.jobs_admitted)),
             ("jobs_completed".into(), get(&c.jobs_completed)),
@@ -279,6 +358,7 @@ impl Shared {
                 Json::UInt(cache.inflight_waits),
             ),
             ("cache_evictions".into(), Json::UInt(cache.evictions)),
+            ("cache_preloads".into(), Json::UInt(cache.preloads)),
             (
                 "ckpt_cache_entries".into(),
                 Json::UInt(self.ckpt_cache.len() as u64),
@@ -290,6 +370,14 @@ impl Shared {
                 Json::UInt(ckpt.inflight_waits),
             ),
             ("ckpt_cache_evictions".into(), Json::UInt(ckpt.evictions)),
+            ("fills_received".into(), get(&c.fills_received)),
+            ("fills_sent".into(), Json::UInt(fills_sent)),
+            ("fills_send_failed".into(), Json::UInt(fills_send_failed)),
+            ("fills_dropped".into(), Json::UInt(fills_dropped)),
+            ("healthy_nodes".into(), Json::UInt(healthy)),
+            ("router_forwarded".into(), Json::UInt(forwarded)),
+            ("router_retries".into(), Json::UInt(retries)),
+            ("router_fallback_local".into(), Json::UInt(fallback)),
         ])
         .encode()
     }
@@ -308,6 +396,96 @@ impl Shared {
             ),
             ("workers".into(), Json::UInt(self.cfg.workers as u64)),
         ])
+        .encode()
+    }
+}
+
+impl RequestSink for Shared {
+    fn handle_line(&self, line: &str) -> LineOutcome {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match proto::parse_request(line, &self.cfg.limits) {
+            Ok(r) => r,
+            Err(e) => {
+                self.counters
+                    .rejected_invalid
+                    .fetch_add(1, Ordering::Relaxed);
+                return LineOutcome::Respond(e.encode());
+            }
+        };
+        match request {
+            Request::Status => LineOutcome::Respond(self.status_response()),
+            Request::Metrics => LineOutcome::Respond(self.metrics_response()),
+            Request::Fill(fills) => LineOutcome::Respond(self.apply_fills(fills)),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.queue_cv.notify_all();
+                LineOutcome::Respond(
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("state".into(), Json::Str("draining".into())),
+                    ])
+                    .encode(),
+                )
+            }
+            Request::Submit(jobs) => match self.admit(jobs) {
+                Ok(slots) => LineOutcome::Batch(slots),
+                Err(e) => LineOutcome::Respond(e.encode()),
+            },
+        }
+    }
+
+    fn finish_batch(&self, results: Vec<Result<String, String>>) -> String {
+        let mut encoded = Vec::with_capacity(results.len());
+        for result in results {
+            match result {
+                Ok(s) => encoded.push(s),
+                Err(msg) => {
+                    // One failed job fails the batch with a structured
+                    // error; the daemon keeps going.
+                    return ProtoError::new(kind::INTERNAL, format!("job failed: {msg}")).encode();
+                }
+            }
+        }
+        encode_batch_raw(&encoded)
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn on_connection(&self) {
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_connection_rejected(&self) -> String {
+        self.counters
+            .connections_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .rejected_overloaded
+            .fetch_add(1, Ordering::Relaxed);
+        ProtoError {
+            kind: kind::OVERLOADED,
+            detail: format!(
+                "connection limit reached ({}); retry later",
+                self.cfg.max_connections
+            ),
+            extra: vec![(
+                "max_connections".into(),
+                Json::UInt(self.cfg.max_connections as u64),
+            )],
+        }
+        .encode()
+    }
+
+    fn on_oversized_line(&self, max_line_bytes: usize) -> String {
+        self.counters
+            .rejected_invalid
+            .fetch_add(1, Ordering::Relaxed);
+        ProtoError::new(
+            kind::LIMIT_EXCEEDED,
+            format!("request line exceeds {max_line_bytes} bytes"),
+        )
         .encode()
     }
 }
@@ -343,18 +521,32 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
+        let router = if cfg.route_nodes.is_empty() {
+            None
+        } else {
+            Some(RouterState::new(RouterConfig {
+                nodes: cfg.route_nodes.clone(),
+                forward_timeout: cfg.forward_timeout,
+                retries: cfg.forward_retries,
+                probe_interval: cfg.probe_interval,
+                ..RouterConfig::default()
+            }))
+        };
         let cache_capacity = cfg.cache_capacity;
         let ckpt_cache_capacity = cfg.ckpt_cache_capacity;
+        let peers = cfg.peers.clone();
         let shared = Arc::new(Shared {
             cfg,
             cache: RunCache::new(cache_capacity),
             ckpt_cache: RunCache::new(ckpt_cache_capacity),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            active_connections: AtomicUsize::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
             counters: Counters::default(),
             started: Instant::now(),
+            router,
+            fill_peers: Mutex::new(peers),
+            forwarder: Mutex::new(None),
         });
         Ok(Server { listener, shared })
     }
@@ -375,10 +567,19 @@ impl Server {
         }
     }
 
+    /// Replaces the fill-forward peer set before [`run`](Server::run).
+    /// Tests (and scripts) bind every node with `:0` first, then wire
+    /// the resolved addresses here.
+    pub fn set_peers(&self, peers: Vec<String>) {
+        *self.shared.fill_peers.lock().unwrap() = peers;
+    }
+
     /// Serves until a `shutdown` request (or [`ShutdownHandle`]) drains
-    /// the daemon: spawns the worker pool, accepts connections, and on
-    /// shutdown stops accepting, lets workers finish every queued job,
-    /// and waits for open connections to write their responses.
+    /// the daemon: starts the fill forwarder and (in router mode) the
+    /// health-probe thread, spawns the worker pool, and runs the
+    /// readiness loop. On shutdown the reactor stops accepting, every
+    /// pending response is computed and flushed (bounded by a grace
+    /// period), and workers finish every queued job before return.
     ///
     /// # Errors
     ///
@@ -386,137 +587,39 @@ impl Server {
     /// `WouldBlock`/`Interrupted`/`ConnectionAborted`.
     pub fn run(self) -> std::io::Result<()> {
         let Server { listener, shared } = self;
+        let peers = shared.fill_peers.lock().unwrap().clone();
+        if !peers.is_empty() {
+            let fw = FillForwarder::start(peers, Arc::clone(&shared.shutdown));
+            *shared.forwarder.lock().unwrap() = Some(Arc::clone(&fw));
+            // Fresh computes (never hits, never received fills) are
+            // announced to every peer.
+            shared
+                .cache
+                .set_fill_hook(move |key, value| fw.announce(key, value));
+        }
+        if let Some(router) = &shared.router {
+            router.spawn_probe(Arc::clone(&shared.shutdown));
+        }
         let workers: Vec<_> = (0..shared.cfg.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 thread::spawn(move || shared.worker())
             })
             .collect();
-        while !shared.shutdown.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let shared = Arc::clone(&shared);
-                    shared.active_connections.fetch_add(1, Ordering::SeqCst);
-                    thread::spawn(move || {
-                        let _ = handle_connection(&shared, stream);
-                        shared.active_connections.fetch_sub(1, Ordering::SeqCst);
-                    });
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(10));
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::Interrupted | ErrorKind::ConnectionAborted
-                    ) => {}
-                Err(e) => return Err(e),
-            }
-        }
+        let reactor_cfg = ReactorConfig {
+            max_connections: shared.cfg.max_connections,
+            read_timeout: shared.cfg.read_timeout,
+            max_line_bytes: shared.cfg.max_line_bytes,
+            drain_grace: DRAIN_GRACE,
+        };
+        let outcome = reactor::run_reactor(listener, &reactor_cfg, &*shared);
+        // Reached on drain (Ok) or a fatal listener error (Err): either
+        // way, stop the workers and the background threads.
+        shared.shutdown.store(true, Ordering::SeqCst);
         shared.queue_cv.notify_all();
         for w in workers {
             let _ = w.join();
         }
-        // Give open connections a grace period to flush their final
-        // response lines (their jobs are already complete).
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            thread::sleep(Duration::from_millis(10));
-        }
-        Ok(())
-    }
-}
-
-/// Reads request lines until EOF, timeout, shutdown, or oversized
-/// input; every parse or admission failure writes a structured error
-/// and keeps the connection (and daemon) alive.
-fn handle_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
-    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        line.clear();
-        // Bound the line length by reading through `take`; a line that
-        // fills the whole allowance without a newline is oversized.
-        let mut limited = (&mut reader).take(shared.cfg.max_line_bytes as u64 + 1);
-        match limited.read_until(b'\n', &mut line) {
-            Ok(0) => return Ok(()), // clean EOF
-            Ok(_) if line.len() > shared.cfg.max_line_bytes => {
-                shared
-                    .counters
-                    .rejected_invalid
-                    .fetch_add(1, Ordering::Relaxed);
-                let err = ProtoError::new(
-                    kind::LIMIT_EXCEEDED,
-                    format!("request line exceeds {} bytes", shared.cfg.max_line_bytes),
-                );
-                writeln!(writer, "{}", err.encode())?;
-                return Ok(()); // cannot resync mid-line; drop connection
-            }
-            Ok(_) => {}
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                return Ok(()); // idle connection: close quietly
-            }
-            Err(e) => return Err(e),
-        }
-        let text = String::from_utf8_lossy(&line);
-        let text = text.trim();
-        if text.is_empty() {
-            continue;
-        }
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let response = handle_request(shared, text);
-        writeln!(writer, "{response}")?;
-        writer.flush()?;
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-    }
-}
-
-fn handle_request(shared: &Shared, line: &str) -> String {
-    let request = match proto::parse_request(line, &shared.cfg.limits) {
-        Ok(r) => r,
-        Err(e) => {
-            shared
-                .counters
-                .rejected_invalid
-                .fetch_add(1, Ordering::Relaxed);
-            return e.encode();
-        }
-    };
-    match request {
-        Request::Status => shared.status_response(),
-        Request::Metrics => shared.metrics_response(),
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            shared.queue_cv.notify_all();
-            Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                ("state".into(), Json::Str("draining".into())),
-            ])
-            .encode()
-        }
-        Request::Submit(jobs) => match shared.admit(jobs) {
-            Err(e) => e.encode(),
-            Ok(slots) => {
-                let mut results = Vec::with_capacity(slots.len());
-                for slot in slots {
-                    match slot.wait() {
-                        Ok(json) => results.push(json),
-                        Err(msg) => {
-                            // One failed job fails the batch with a
-                            // structured error; the daemon keeps going.
-                            return ProtoError::new(kind::INTERNAL, format!("job failed: {msg}"))
-                                .encode();
-                        }
-                    }
-                }
-                encode_batch(&results)
-            }
-        },
+        outcome
     }
 }

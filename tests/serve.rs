@@ -139,6 +139,14 @@ fn concurrent_identical_submissions_compute_once() {
     assert_eq!(report.ok_rounds, 24, "all rounds should succeed");
     assert_eq!(report.error_rounds, 0);
     assert_eq!(report.io_errors, 0);
+    // The generator is response-gated; its summary must say so instead
+    // of passing its service rate off as offered load.
+    assert!(
+        report
+            .summary_line(Duration::from_secs(1))
+            .starts_with("load mode=closed-loop "),
+        "closed-loop report must label its discipline"
+    );
 
     let mut client = daemon.client();
     assert_eq!(
