@@ -1,0 +1,99 @@
+//! `report` — regenerates the committed `docs/bench/` CSV + SVG
+//! artifacts from `BENCH_simperf.json` and any captured figure tables.
+//!
+//! ```text
+//! cargo run --release -p pipm-bench --bin report
+//! cargo run --release -p pipm-bench --bin report -- \
+//!     --input BENCH_simperf.json --out docs/bench --figs-dir docs/bench/figures
+//! ```
+//!
+//! Options:
+//! * `--input PATH`    simperf trajectory to aggregate (default
+//!   `BENCH_simperf.json`)
+//! * `--out DIR`       output directory (default `docs/bench`)
+//! * `--figs-dir DIR`  directory of captured figure CSVs to chart
+//!   (default `docs/bench/figures`; missing is fine). Capture tables by
+//!   running any figure harness with `PIPM_FIG_CSV_DIR=<dir>`.
+//!
+//! Output is a pure function of the inputs — rerunning over the same
+//! files rewrites byte-identical artifacts, so the generated charts
+//! are committed and reviewed like code. The consecutive-commit
+//! significance verdicts (paired permutation test, see
+//! `pipm_bench::stats`) are printed to stdout.
+
+use pipm_bench::report;
+use std::path::Path;
+
+fn main() {
+    let mut input = String::from("BENCH_simperf.json");
+    let mut out_dir = String::from("docs/bench");
+    let mut figs_dir = String::from("docs/bench/figures");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--input" => input = need(i).clone(),
+            "--out" => out_dir = need(i).clone(),
+            "--figs-dir" => figs_dir = need(i).clone(),
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 2;
+    }
+
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[report] cannot read {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let files = match report::generate(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("[report] {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    for f in &files {
+        let path = Path::new(&out_dir).join(&f.name);
+        std::fs::write(&path, &f.contents).expect("write artifact");
+        println!("[report] wrote {}", path.display());
+    }
+
+    // Chart any captured figure tables (sorted for a stable order).
+    if let Ok(entries) = std::fs::read_dir(&figs_dir) {
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let Some(stem) = p.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(csv) = std::fs::read_to_string(&p) else {
+                continue;
+            };
+            if let Some(f) = report::figure_chart(stem, &csv) {
+                let path = Path::new(&out_dir).join(&f.name);
+                std::fs::write(&path, &f.contents).expect("write figure chart");
+                println!("[report] wrote {}", path.display());
+            }
+        }
+    }
+
+    println!("[report] significance (paired permutation, consecutive commits):");
+    let verdicts = report::delta_verdicts(&text);
+    if verdicts.is_empty() {
+        println!("[report]   only one commit block -- nothing to compare");
+    }
+    for v in verdicts {
+        println!("[report]   {v}");
+    }
+}

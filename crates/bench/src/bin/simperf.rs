@@ -34,6 +34,8 @@
 //! Runs execute *serially* so each measurement owns the machine; one
 //! warm-up run absorbs first-touch page faults and lazy init.
 
+use pipm_bench::report::json_field;
+use pipm_bench::stats::paired_permutation_test;
 use pipm_core::run_one;
 use pipm_types::{SchemeKind, SystemConfig};
 use pipm_workloads::{Workload, WorkloadParams};
@@ -283,18 +285,6 @@ fn render_json(kept: &[String], commit: &str, date: &str, records: &[Record]) ->
     s
 }
 
-/// Minimal field extractor for the line-per-record JSON this tool writes.
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    if let Some(stripped) = rest.strip_prefix('"') {
-        stripped.split('"').next()
-    } else {
-        rest.split([',', '}']).next().map(str::trim)
-    }
-}
-
 /// Compares per-scheme geomean refs/sec against `base`; returns the
 /// process exit code (0 ok, 2 regression, 0 with a warning if the
 /// baseline has no overlapping cells).
@@ -365,6 +355,25 @@ fn check_regression(base: &str, records: &[Record], threshold: f64) -> i32 {
     if compared == 0 {
         eprintln!("[simperf] baseline {base} shares no cells with this run (skipping check)");
         return 0;
+    }
+    // Significance verdict alongside the threshold gate (never gating:
+    // the permutation test says whether the delta is *real*, the
+    // threshold says whether it is *acceptable*).
+    let pairs: Vec<(f64, f64)> = records
+        .iter()
+        .filter_map(|r| {
+            baseline
+                .iter()
+                .find(|(s, w, _)| s == r.scheme.label() && w == r.workload.label())
+                .map(|(_, _, old)| (*old, r.refs_per_sec))
+        })
+        .collect();
+    if let Some(t) = paired_permutation_test(&pairs) {
+        eprintln!(
+            "[simperf] significance vs {}: {}",
+            last_commit.as_deref().unwrap_or("?"),
+            t.verdict()
+        );
     }
     if failed {
         eprintln!(

@@ -42,6 +42,9 @@
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod report;
+pub mod stats;
+pub mod svg;
 
 use pipm_core::{
     checkpoint_key, job_key, resume_one, run_one, run_one_with_delta, run_prefix_one, CfgDelta,
@@ -863,7 +866,9 @@ pub fn geomean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
-/// Prints a TSV table: header row then data rows.
+/// Prints a TSV table: header row then data rows. With
+/// `PIPM_FIG_CSV_DIR` set, the table is also captured as
+/// `<dir>/<slug>.csv` so `report` can commit and chart it.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("# {title}");
     println!("{}", header.join("\t"));
@@ -871,6 +876,13 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("{}", r.join("\t"));
     }
     println!();
+    if let Ok(dir) = std::env::var("PIPM_FIG_CSV_DIR") {
+        if !dir.is_empty() {
+            if let Err(e) = report::write_fig_csv(&dir, title, header, rows) {
+                eprintln!("[bench] cannot capture table to {dir}: {e}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]

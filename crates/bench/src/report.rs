@@ -1,0 +1,471 @@
+//! `pipm-bench` reporting: turns the append-per-commit
+//! `BENCH_simperf.json` trajectory and captured figure tables into
+//! committed CSV + SVG artifacts under `docs/bench/`.
+//!
+//! Everything here is a pure function of its input text: no clocks, no
+//! map-iteration order, fixed float formatting — the `report` bin must
+//! regenerate byte-identical artifacts from the same inputs (a golden
+//! test diffs them), so the charts can live in git and a stale chart
+//! shows up as a diff rather than silently drifting.
+//!
+//! Artifacts per run:
+//!
+//! | file                 | contents                                        |
+//! |----------------------|-------------------------------------------------|
+//! | `simperf_trend.csv`  | per-commit × per-scheme geomean refs/s          |
+//! | `simperf_trend.svg`  | the same, as a line chart (one line per scheme) |
+//! | `simperf_delta.csv`  | consecutive-commit A/B: ratio + permutation p   |
+//! | `simperf_latest.svg` | latest commit's per-scheme geomean, bar chart   |
+//! | `<figure>.svg`       | per-column geomean bar chart of a captured CSV  |
+
+use crate::stats::{paired_permutation_test, PairedPermutation};
+use crate::svg;
+
+/// One decoded `BENCH_simperf.json` row.
+#[derive(Clone, Debug)]
+pub struct SimperfRow {
+    /// Short commit hash the row was measured at.
+    pub commit: String,
+    /// UTC date of the measurement.
+    pub date: String,
+    /// Scheme label (`Pipm`, `Native`, …).
+    pub scheme: String,
+    /// Workload label (`BFS`, `YCSB`, …).
+    pub workload: String,
+    /// Simulated references per wall-clock second.
+    pub refs_per_sec: f64,
+}
+
+/// All rows of one commit's block, in file order.
+#[derive(Clone, Debug)]
+pub struct CommitBlock {
+    /// Short commit hash.
+    pub commit: String,
+    /// UTC date of the block's first row.
+    pub date: String,
+    /// The block's rows.
+    pub rows: Vec<SimperfRow>,
+}
+
+/// One artifact to write: `name` is relative to the output directory.
+#[derive(Clone, Debug)]
+pub struct ReportFile {
+    /// File name (e.g. `simperf_trend.csv`).
+    pub name: String,
+    /// Full file contents.
+    pub contents: String,
+}
+
+/// Minimal field extractor for the line-per-record JSON `simperf`
+/// writes (shared with the `simperf` bin's trajectory maintenance).
+pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next().map(str::trim)
+    }
+}
+
+/// Decodes a `BENCH_simperf.json` trajectory (lines that are not row
+/// objects, e.g. the array brackets, are skipped).
+pub fn parse_simperf(text: &str) -> Vec<SimperfRow> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .filter_map(|l| {
+            Some(SimperfRow {
+                commit: json_field(l, "commit")?.to_string(),
+                date: json_field(l, "date")?.to_string(),
+                scheme: json_field(l, "scheme")?.to_string(),
+                workload: json_field(l, "workload")?.to_string(),
+                refs_per_sec: json_field(l, "refs_per_sec")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Groups rows into per-commit blocks, in first-appearance order (the
+/// file is append-per-commit, so this is chronological order).
+pub fn commit_blocks(rows: &[SimperfRow]) -> Vec<CommitBlock> {
+    let mut blocks: Vec<CommitBlock> = Vec::new();
+    for row in rows {
+        match blocks.iter_mut().find(|b| b.commit == row.commit) {
+            Some(b) => b.rows.push(row.clone()),
+            None => blocks.push(CommitBlock {
+                commit: row.commit.clone(),
+                date: row.date.clone(),
+                rows: vec![row.clone()],
+            }),
+        }
+    }
+    blocks
+}
+
+/// Pairs `(base, test)` refs/s by `(scheme, workload)` cell — the
+/// input to the paired permutation test. `scheme: Some(..)` restricts
+/// the pairing to one scheme's rows.
+pub fn pair_blocks(
+    base: &[SimperfRow],
+    test: &[SimperfRow],
+    scheme: Option<&str>,
+) -> Vec<(f64, f64)> {
+    test.iter()
+        .filter(|r| scheme.is_none_or(|s| r.scheme == s))
+        .filter_map(|r| {
+            base.iter()
+                .find(|b| b.scheme == r.scheme && b.workload == r.workload)
+                .map(|b| (b.refs_per_sec, r.refs_per_sec))
+        })
+        .collect()
+}
+
+/// Builds every simperf-derived artifact from the trajectory text.
+pub fn generate(simperf_json: &str) -> Result<Vec<ReportFile>, String> {
+    let rows = parse_simperf(simperf_json);
+    if rows.is_empty() {
+        return Err("no simperf rows in input".to_string());
+    }
+    let blocks = commit_blocks(&rows);
+    // Scheme order: first appearance across the whole file, so the CSV
+    // and the chart legend are stable as commits accumulate.
+    let mut schemes: Vec<String> = Vec::new();
+    for row in &rows {
+        if !schemes.contains(&row.scheme) {
+            schemes.push(row.scheme.clone());
+        }
+    }
+
+    let mut files = Vec::new();
+
+    // ── simperf_trend.csv: per-commit × per-scheme geomean ──────────
+    let mut csv = String::from("commit,date,scheme,cells,geomean_refs_per_sec\n");
+    for block in &blocks {
+        for scheme in &schemes {
+            let vals: Vec<f64> = block
+                .rows
+                .iter()
+                .filter(|r| &r.scheme == scheme)
+                .map(|r| r.refs_per_sec)
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            csv.push_str(&format!(
+                "{},{},{},{},{:.1}\n",
+                block.commit,
+                block.date,
+                scheme,
+                vals.len(),
+                crate::geomean(&vals)
+            ));
+        }
+        let all: Vec<f64> = block.rows.iter().map(|r| r.refs_per_sec).collect();
+        csv.push_str(&format!(
+            "{},{},overall,{},{:.1}\n",
+            block.commit,
+            block.date,
+            all.len(),
+            crate::geomean(&all)
+        ));
+    }
+    files.push(ReportFile {
+        name: "simperf_trend.csv".to_string(),
+        contents: csv,
+    });
+
+    // ── simperf_trend.svg: the same trend as a line chart ───────────
+    let x_labels: Vec<String> = blocks.iter().map(|b| b.commit.clone()).collect();
+    let mut series: Vec<svg::Series> = Vec::new();
+    for scheme in &schemes {
+        let values = blocks
+            .iter()
+            .map(|b| {
+                let vals: Vec<f64> = b
+                    .rows
+                    .iter()
+                    .filter(|r| &r.scheme == scheme)
+                    .map(|r| r.refs_per_sec / 1e6)
+                    .collect();
+                if vals.is_empty() {
+                    f64::NAN
+                } else {
+                    crate::geomean(&vals)
+                }
+            })
+            .collect();
+        series.push(svg::Series {
+            name: scheme.clone(),
+            values,
+        });
+    }
+    series.push(svg::Series {
+        name: "overall".to_string(),
+        values: blocks
+            .iter()
+            .map(|b| {
+                let all: Vec<f64> = b.rows.iter().map(|r| r.refs_per_sec / 1e6).collect();
+                crate::geomean(&all)
+            })
+            .collect(),
+    });
+    files.push(ReportFile {
+        name: "simperf_trend.svg".to_string(),
+        contents: svg::line_chart(
+            "simperf: geomean simulator throughput per commit",
+            "Mrefs/s (geomean)",
+            &x_labels,
+            &series,
+        ),
+    });
+
+    // ── simperf_delta.csv: consecutive-commit A/B with p-values ─────
+    let mut delta = String::from(
+        "base_commit,test_commit,scheme,pairs,geomean_ratio,p_value,method,significant\n",
+    );
+    for pair in blocks.windows(2) {
+        let (base, test) = (&pair[0], &pair[1]);
+        let mut scopes: Vec<Option<&str>> = schemes.iter().map(|s| Some(s.as_str())).collect();
+        scopes.push(None); // overall
+        for scope in scopes {
+            let pairs = pair_blocks(&base.rows, &test.rows, scope);
+            let Some(t) = paired_permutation_test(&pairs) else {
+                continue;
+            };
+            delta.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4},{},{}\n",
+                base.commit,
+                test.commit,
+                scope.unwrap_or("overall"),
+                t.n,
+                t.geomean_ratio,
+                t.p_value,
+                t.method,
+                t.significant()
+            ));
+        }
+    }
+    files.push(ReportFile {
+        name: "simperf_delta.csv".to_string(),
+        contents: delta,
+    });
+
+    // ── simperf_latest.svg: latest block per scheme, as bars ────────
+    let latest = blocks.last().expect("non-empty blocks");
+    let mut labels = Vec::new();
+    let mut values = Vec::new();
+    for scheme in &schemes {
+        let vals: Vec<f64> = latest
+            .rows
+            .iter()
+            .filter(|r| &r.scheme == scheme)
+            .map(|r| r.refs_per_sec / 1e6)
+            .collect();
+        if !vals.is_empty() {
+            labels.push(scheme.clone());
+            values.push(crate::geomean(&vals));
+        }
+    }
+    files.push(ReportFile {
+        name: "simperf_latest.svg".to_string(),
+        contents: svg::bar_chart(
+            &format!(
+                "simperf: geomean simulator throughput at {} ({})",
+                latest.commit, latest.date
+            ),
+            "Mrefs/s (geomean)",
+            &labels,
+            &values,
+        ),
+    });
+
+    Ok(files)
+}
+
+/// Renders the consecutive-commit significance tests as human-readable
+/// verdict lines (what `report` prints and CI echoes).
+pub fn delta_verdicts(simperf_json: &str) -> Vec<String> {
+    let rows = parse_simperf(simperf_json);
+    let blocks = commit_blocks(&rows);
+    let mut out = Vec::new();
+    for pair in blocks.windows(2) {
+        let (base, test) = (&pair[0], &pair[1]);
+        if let Some(t) = paired_permutation_test(&pair_blocks(&base.rows, &test.rows, None)) {
+            out.push(format!(
+                "{} -> {}: {}",
+                base.commit,
+                test.commit,
+                t.verdict()
+            ));
+        }
+    }
+    out
+}
+
+/// Convenience wrapper: pair two row sets and test them in one call
+/// (what `simperf --check` uses for its verdict line).
+pub fn significance(base: &[SimperfRow], test: &[SimperfRow]) -> Option<PairedPermutation> {
+    paired_permutation_test(&pair_blocks(base, test, None))
+}
+
+// ── Figure-table capture ────────────────────────────────────────────
+//
+// The figure harnesses print TSV to stdout; with `PIPM_FIG_CSV_DIR`
+// set, `print_table` also tees each table here as `<slug>.csv` so the
+// tables can be committed and charted by `report`.
+
+/// File-name slug of a figure title: lowercase, `[a-z0-9]` kept, every
+/// other run of characters collapsed to one `_`.
+pub fn slugify(title: &str) -> String {
+    let mut out = String::new();
+    for c in title.chars() {
+        let c = c.to_ascii_lowercase();
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
+/// Writes one captured figure table as `<dir>/<slug>.csv`.
+pub fn write_fig_csv(
+    dir: &str,
+    title: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut csv = String::new();
+    csv.push_str(
+        &header
+            .iter()
+            .map(|c| csv_cell(c))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    csv.push('\n');
+    for row in rows {
+        csv.push_str(
+            &row.iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        csv.push('\n');
+    }
+    let path = std::path::Path::new(dir).join(format!("{}.csv", slugify(title)));
+    std::fs::write(path, csv)
+}
+
+/// Quotes a CSV cell only when it needs it (commas, quotes, newlines).
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Charts one captured figure CSV: every column whose data cells all
+/// parse as numbers becomes a bar (its geomean over the rows). Returns
+/// `None` when the CSV has no numeric columns (nothing to chart).
+pub fn figure_chart(stem: &str, csv_text: &str) -> Option<ReportFile> {
+    let mut lines = csv_text.lines();
+    let header: Vec<&str> = lines.next()?.split(',').collect();
+    let rows: Vec<Vec<&str>> = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split(',').collect())
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    let mut labels = Vec::new();
+    let mut values = Vec::new();
+    for (c, name) in header.iter().enumerate() {
+        let cells: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.get(c).and_then(|v| v.parse::<f64>().ok()))
+            .collect();
+        if cells.len() == rows.len() {
+            labels.push(name.to_string());
+            values.push(crate::geomean(&cells));
+        }
+    }
+    if labels.is_empty() {
+        return None;
+    }
+    Some(ReportFile {
+        name: format!("{stem}.svg"),
+        contents: svg::bar_chart(
+            &format!("{stem} (per-column geomean over {} rows)", rows.len()),
+            "geomean",
+            &labels,
+            &values,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = r#"[
+  {"commit": "aaa1111", "date": "2026-08-01", "scheme": "Pipm", "workload": "BFS", "refs_per_sec": 5100000.0, "wall_ms": 10.0, "exec_cycles": 100},
+  {"commit": "aaa1111", "date": "2026-08-01", "scheme": "Pipm", "workload": "YCSB", "refs_per_sec": 5300000.0, "wall_ms": 10.0, "exec_cycles": 100},
+  {"commit": "bbb2222", "date": "2026-08-02", "scheme": "Pipm", "workload": "BFS", "refs_per_sec": 9300000.0, "wall_ms": 5.0, "exec_cycles": 100},
+  {"commit": "bbb2222", "date": "2026-08-02", "scheme": "Pipm", "workload": "YCSB", "refs_per_sec": 9500000.0, "wall_ms": 5.0, "exec_cycles": 100}
+]
+"#;
+
+    #[test]
+    fn parses_rows_and_blocks_in_file_order() {
+        let rows = parse_simperf(FIXTURE);
+        assert_eq!(rows.len(), 4);
+        let blocks = commit_blocks(&rows);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].commit, "aaa1111");
+        assert_eq!(blocks[1].commit, "bbb2222");
+        assert_eq!(blocks[1].rows.len(), 2);
+    }
+
+    #[test]
+    fn generate_covers_every_commit_block_and_is_deterministic() {
+        let a = generate(FIXTURE).unwrap();
+        let b = generate(FIXTURE).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.name, fb.name);
+            assert_eq!(
+                fa.contents, fb.contents,
+                "{} must be deterministic",
+                fa.name
+            );
+        }
+        let trend = &a.iter().find(|f| f.name == "simperf_trend.csv").unwrap();
+        assert!(trend.contents.contains("aaa1111") && trend.contents.contains("bbb2222"));
+        let svg = &a.iter().find(|f| f.name == "simperf_trend.svg").unwrap();
+        assert!(svg.contents.contains("aaa1111") && svg.contents.contains("bbb2222"));
+    }
+
+    #[test]
+    fn slugify_matches_fig_titles() {
+        assert_eq!(
+            slugify("Figure 10: speedup over Native CXL-DSM"),
+            "figure_10_speedup_over_native_cxl_dsm"
+        );
+        assert_eq!(slugify("Table 1 — config"), "table_1_config");
+    }
+
+    #[test]
+    fn figure_chart_uses_only_fully_numeric_columns() {
+        let csv = "workload,Pipm,note\nBFS,1.810,x\nYCSB,1.790,y\n";
+        let f = figure_chart("fig", csv).unwrap();
+        assert!(f.contents.contains("Pipm"));
+        assert!(!f.contents.contains(">workload<"));
+        assert!(figure_chart("fig", "a,b\n").is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Golden-output test for the `report` layer: regenerating from a
+//! fixed `BENCH_simperf.json` fixture must reproduce the committed
+//! CSV/SVG artifacts **byte-identically**. The fixture encodes the
+//! PR 4 throughput jump (5.2M → 9.4M geomean refs/s across all 13
+//! workloads) followed by a same-binary rerun with mixed-sign noise,
+//! so the test also pins the significance methodology: the jump must
+//! come out significant, the noise must not.
+
+use pipm_bench::report;
+
+fn fixture() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/simperf_pr4.json"
+    ))
+    .expect("read fixture")
+}
+
+fn golden(name: &str) -> String {
+    std::fs::read_to_string(format!(
+        "{}/tests/golden/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap_or_else(|e| panic!("read golden {name}: {e}"))
+}
+
+#[test]
+fn report_regenerates_goldens_byte_identically() {
+    let files = report::generate(&fixture()).expect("generate");
+    let names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "simperf_trend.csv",
+            "simperf_trend.svg",
+            "simperf_delta.csv",
+            "simperf_latest.svg"
+        ],
+        "artifact set changed -- regenerate the goldens deliberately"
+    );
+    for f in &files {
+        assert_eq!(
+            f.contents,
+            golden(&f.name),
+            "{} drifted from its committed golden; if the change is \
+             intentional, regenerate with `cargo run -p pipm-bench --bin \
+             report -- --input crates/bench/tests/fixtures/simperf_pr4.json \
+             --out crates/bench/tests/golden --figs-dir /nonexistent`",
+            f.name
+        );
+    }
+    // Rerun over the same input: the second pass must be bit-equal to
+    // the first (no clocks, no randomness, no map order).
+    let again = report::generate(&fixture()).expect("generate again");
+    for (a, b) in files.iter().zip(&again) {
+        assert_eq!(a.contents, b.contents, "{} not deterministic", a.name);
+    }
+}
+
+#[test]
+fn trend_covers_every_commit_block_in_the_fixture() {
+    let text = fixture();
+    let blocks = report::commit_blocks(&report::parse_simperf(&text));
+    assert_eq!(blocks.len(), 3);
+    let files = report::generate(&text).expect("generate");
+    let trend_csv = &files[0].contents;
+    let trend_svg = &files[1].contents;
+    for b in &blocks {
+        assert!(
+            trend_csv.contains(&b.commit),
+            "{} missing from CSV",
+            b.commit
+        );
+        assert!(
+            trend_svg.contains(&b.commit),
+            "{} missing from SVG",
+            b.commit
+        );
+    }
+}
+
+#[test]
+fn pr4_jump_is_significant_and_same_binary_noise_is_not() {
+    let text = fixture();
+    let blocks = report::commit_blocks(&report::parse_simperf(&text));
+    let jump = report::significance(&blocks[0].rows, &blocks[1].rows).expect("jump test");
+    assert!(
+        jump.significant(),
+        "PR 4 jump must be significant: {}",
+        jump.verdict()
+    );
+    assert!(
+        jump.geomean_ratio > 1.7 && jump.geomean_ratio < 1.9,
+        "jump effect size off: {}",
+        jump.geomean_ratio
+    );
+    let noise = report::significance(&blocks[1].rows, &blocks[2].rows).expect("noise test");
+    assert!(
+        !noise.significant(),
+        "same-binary noise must not be significant: {}",
+        noise.verdict()
+    );
+}
+
+#[test]
+fn committed_trajectory_parses_and_charts_every_block() {
+    // The real BENCH_simperf.json two directories up: every commit
+    // block in it must make it into the generated trend artifacts
+    // (this is what `report` runs over in CI).
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_simperf.json"
+    ))
+    .expect("read committed trajectory");
+    let blocks = report::commit_blocks(&report::parse_simperf(&text));
+    assert!(!blocks.is_empty(), "committed trajectory has no rows");
+    let files = report::generate(&text).expect("generate");
+    let trend_svg = &files[1].contents;
+    for b in &blocks {
+        assert!(
+            trend_svg.contains(&b.commit),
+            "commit block {} missing from the trend chart",
+            b.commit
+        );
+    }
+}

@@ -111,18 +111,26 @@ pub fn percentiles(samples: &[Duration]) -> Percentiles {
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     let n = sorted.len();
-    let rank = |q: f64| -> Duration {
-        let r = (q * n as f64).ceil() as usize;
-        sorted[r.clamp(1, n) - 1]
-    };
     Percentiles {
         count: n,
         min: sorted[0],
-        p50: rank(0.50),
-        p90: rank(0.90),
-        p99: rank(0.99),
+        p50: nearest_rank(&sorted, 0.50),
+        p90: nearest_rank(&sorted, 0.90),
+        p99: nearest_rank(&sorted, 0.99),
         max: sorted[n - 1],
     }
+}
+
+/// The nearest-rank sample of a sorted, non-empty slice: 1-based rank
+/// `⌈q·n⌉`, clamped into `1..=n`. The clamp is what makes the edges
+/// safe: `q → 0` (where `⌈q·n⌉` is 0, an invalid 1-based rank) lands on
+/// the first sample, and `q > 1` on the last. A negative `q` saturates
+/// to rank 0 on the float→usize cast and clamps to the first sample
+/// too.
+pub fn nearest_rank(sorted: &[Duration], q: f64) -> Duration {
+    let n = sorted.len();
+    let r = (q * n as f64).ceil() as usize;
+    sorted[r.clamp(1, n) - 1]
 }
 
 /// One open-loop run's parameters.
@@ -351,6 +359,28 @@ mod tests {
             (mean_gap - expect).abs() < expect * 0.05,
             "mean gap {mean_gap:.6}s should be within 5% of {expect:.6}s"
         );
+    }
+
+    #[test]
+    fn nearest_rank_edge_ranks_clamp_into_the_sample_range() {
+        let ms = |m: u64| Duration::from_millis(m);
+        let sorted: Vec<Duration> = (1..=10).map(ms).collect();
+        // q → 0: ⌈q·n⌉ is 0, an invalid 1-based rank; the clamp lands
+        // it on the first sample instead of underflowing the index.
+        assert_eq!(nearest_rank(&sorted, 0.0), ms(1));
+        assert_eq!(nearest_rank(&sorted, 1e-12), ms(1));
+        // Negative q saturates to 0 on the float→usize cast, then
+        // clamps to the first sample like q = 0.
+        assert_eq!(nearest_rank(&sorted, -0.5), ms(1));
+        // Smallest q whose rank exceeds 1: ⌈0.11·10⌉ = 2.
+        assert_eq!(nearest_rank(&sorted, 0.11), ms(2));
+        // q = 1 is the max; q > 1 clamps to the max rather than
+        // indexing past the end.
+        assert_eq!(nearest_rank(&sorted, 1.0), ms(10));
+        assert_eq!(nearest_rank(&sorted, 1.5), ms(10));
+        // n = 1: every q collapses to the only sample.
+        assert_eq!(nearest_rank(&[ms(7)], 0.0), ms(7));
+        assert_eq!(nearest_rank(&[ms(7)], 0.99), ms(7));
     }
 
     #[test]

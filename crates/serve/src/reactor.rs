@@ -253,15 +253,19 @@ fn accept_new<S: RequestSink>(
     }
 }
 
-/// Best-effort structured rejection of a shed connection: one short
-/// bounded write, then drop. The write is tiny (one error line), so on
-/// loopback it lands in the socket buffer immediately.
+/// Best-effort structured rejection of a shed connection: a single
+/// non-blocking write, then drop. A freshly accepted socket has an
+/// empty send buffer, so the error line lands immediately in practice;
+/// if the kernel ever reports `WouldBlock` the line is simply dropped —
+/// an over-cap accept storm must never stall the reactor thread, which
+/// services every live connection.
 fn shed_connection(stream: TcpStream, error_line: &str) {
     let mut stream = stream;
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.write_all(error_line.as_bytes());
-    let _ = stream.write_all(b"\n");
+    let _ = stream.set_nonblocking(true);
+    let mut line = Vec::with_capacity(error_line.len() + 1);
+    line.extend_from_slice(error_line.as_bytes());
+    line.push(b'\n');
+    let _ = stream.write(&line);
 }
 
 /// One sweep over one connection: read, parse, poll batches, write.

@@ -143,6 +143,9 @@ pub struct RouterCounters {
     /// Jobs computed locally because the owner was unreachable (or
     /// returned a non-OK response).
     pub fallback_local: AtomicU64,
+    /// Times `execute` flipped a node's health bit to false after
+    /// exhausting transport retries (probes revive it later).
+    pub unhealthy_marked: AtomicU64,
 }
 
 /// The routing half of a `pipm-serve --route` daemon.
@@ -190,6 +193,7 @@ impl RouterState {
         let owner = self.ring.owner(&job.key);
         if self.healthy[owner].load(Ordering::Relaxed) {
             let addr = &self.ring.nodes()[owner];
+            let mut last = ForwardError::Transport;
             for attempt in 0..=self.cfg.retries {
                 if attempt > 0 {
                     std::thread::sleep(self.cfg.backoff * attempt);
@@ -200,14 +204,32 @@ impl RouterState {
                         self.counters.forwarded.fetch_add(1, Ordering::Relaxed);
                         return result;
                     }
-                    Err(ForwardError::Transport) => continue,
+                    // Transient: the node may be down, or is alive but
+                    // shedding load. Both are worth a backed-off retry.
+                    Err(err @ (ForwardError::Transport | ForwardError::Overloaded)) => {
+                        last = err;
+                        continue;
+                    }
                     // A structured node-side error is deterministic;
                     // retrying the same bytes cannot help. Local
                     // compute can (the router validated the job).
-                    Err(ForwardError::Rejected) => break,
+                    Err(ForwardError::Rejected) => {
+                        last = ForwardError::Rejected;
+                        break;
+                    }
                 }
             }
-            self.healthy[owner].store(false, Ordering::Relaxed);
+            // Only exhausted *transport* failures may flip the health
+            // bit: a node that answered — even with `overloaded` or a
+            // rejection — is demonstrably alive, and declaring it dead
+            // would divert all its traffic to local fallback until the
+            // next probe revives it.
+            if matches!(last, ForwardError::Transport) {
+                self.healthy[owner].store(false, Ordering::Relaxed);
+                self.counters
+                    .unhealthy_marked
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.counters.fallback_local.fetch_add(1, Ordering::Relaxed);
         local()
@@ -229,34 +251,32 @@ impl RouterState {
             self.cfg.forward_timeout,
         )
         .ok_or(ForwardError::Transport)?;
-        // The node's batch encoding is canonical; for a single job the
-        // result object is exactly the bytes between the fixed prefix
-        // and suffix. Splicing (never re-encoding) preserves
-        // byte-identity with a single-node response.
-        response
-            .strip_prefix(r#"{"ok":true,"results":["#)
-            .and_then(|rest| rest.strip_suffix("]}"))
-            .map(str::to_string)
-            .ok_or(ForwardError::Rejected)
+        classify_response(&response)
     }
 
     /// Spawns the health-probe thread: every `probe_interval`, each
     /// node gets a `status` request; the result flips its health bit
     /// (dead nodes revive automatically when they answer again). The
     /// thread exits when `stop` flips (daemon shutdown).
+    ///
+    /// Each node is probed under its own deadline — an equal slice of
+    /// the probe interval, clamped to [50 ms, 500 ms] — and `stop` is
+    /// checked before every node, so one dead node can neither delay
+    /// health detection of the rest by seconds nor stall shutdown for
+    /// a full sweep.
     pub fn spawn_probe(self: &Arc<Self>, stop: Arc<AtomicBool>) {
         let state = Arc::clone(self);
         std::thread::spawn(move || {
-            let probe_timeout = Duration::from_secs(2);
+            let nodes = state.ring.nodes().len().max(1) as u32;
+            let per_node = (state.cfg.probe_interval / nodes)
+                .clamp(Duration::from_millis(50), Duration::from_millis(500));
             while !stop.load(Ordering::SeqCst) {
                 for (i, addr) in state.ring.nodes().iter().enumerate() {
-                    let alive = request_once(
-                        addr,
-                        r#"{"cmd":"status"}"#,
-                        state.cfg.connect_timeout,
-                        probe_timeout,
-                    )
-                    .is_some();
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let alive =
+                        request_once(addr, r#"{"cmd":"status"}"#, per_node, per_node).is_some();
                     state.healthy[i].store(alive, Ordering::Relaxed);
                 }
                 // Sleep in short slices so shutdown is prompt.
@@ -269,11 +289,41 @@ impl RouterState {
     }
 }
 
+#[derive(Debug, PartialEq, Eq)]
 enum ForwardError {
-    /// Connect/write/read failed; the node may be down (retryable).
+    /// Connect/write/read failed; the node may be down (retryable, and
+    /// the only variant allowed to mark the node unhealthy).
     Transport,
-    /// The node answered with a non-OK response (not retryable).
+    /// The node answered a structured `overloaded` error: transient
+    /// back-pressure from a demonstrably live node (retryable with
+    /// backoff, never a health demotion).
+    Overloaded,
+    /// The node answered some other non-OK response — a deterministic
+    /// rejection (not retryable, never a health demotion).
     Rejected,
+}
+
+/// Splits a node's response line into the spliced result bytes or a
+/// [`ForwardError`] describing why it cannot be used.
+///
+/// The node's batch encoding is canonical; for a single job the result
+/// object is exactly the bytes between the fixed prefix and suffix.
+/// Splicing (never re-encoding) preserves byte-identity with a
+/// single-node response.
+fn classify_response(response: &str) -> Result<String, ForwardError> {
+    if let Some(result) = response
+        .strip_prefix(r#"{"ok":true,"results":["#)
+        .and_then(|rest| rest.strip_suffix("]}"))
+    {
+        return Ok(result.to_string());
+    }
+    let kind = crate::json::parse(response)
+        .ok()
+        .and_then(|v| v.get("error")?.get("kind")?.as_str().map(str::to_string));
+    match kind.as_deref() {
+        Some(crate::proto::kind::OVERLOADED) => Err(ForwardError::Overloaded),
+        _ => Err(ForwardError::Rejected),
+    }
 }
 
 /// One request/response round trip on a fresh connection, all failures
@@ -472,6 +522,37 @@ mod tests {
             }
         }
         assert!(moved > 0, "the removed node owned nothing?");
+    }
+
+    #[test]
+    fn classify_splices_ok_response_bytes_verbatim() {
+        let result = r#"{"workload":"BFS","ipc":0.25}"#;
+        let response = format!(r#"{{"ok":true,"results":[{result}]}}"#);
+        assert_eq!(classify_response(&response), Ok(result.to_string()));
+    }
+
+    #[test]
+    fn classify_maps_overloaded_to_retryable_backpressure() {
+        let line = crate::proto::ProtoError::new(
+            crate::proto::kind::OVERLOADED,
+            "queue full: 3 jobs do not fit",
+        )
+        .encode();
+        assert_eq!(classify_response(&line), Err(ForwardError::Overloaded));
+    }
+
+    #[test]
+    fn classify_maps_other_structured_errors_to_rejected() {
+        let line = crate::proto::ProtoError::new(crate::proto::kind::BAD_REQUEST, "unknown field")
+            .encode();
+        assert_eq!(classify_response(&line), Err(ForwardError::Rejected));
+        // Garbage that parses as neither an OK batch nor a structured
+        // error is still a deterministic rejection, not back-pressure.
+        assert_eq!(classify_response("not json"), Err(ForwardError::Rejected));
+        assert_eq!(
+            classify_response(r#"{"ok":false}"#),
+            Err(ForwardError::Rejected)
+        );
     }
 
     #[test]

@@ -316,15 +316,16 @@ impl Shared {
                 ),
                 None => (0, 0, 0),
             };
-        let (mode, healthy, forwarded, retries, fallback) = match &self.router {
+        let (mode, healthy, forwarded, retries, fallback, unhealthy_marked) = match &self.router {
             Some(r) => (
                 "router",
                 r.healthy_nodes() as u64,
                 r.counters.forwarded.load(Ordering::Relaxed),
                 r.counters.retries.load(Ordering::Relaxed),
                 r.counters.fallback_local.load(Ordering::Relaxed),
+                r.counters.unhealthy_marked.load(Ordering::Relaxed),
             ),
-            None => ("node", 0, 0, 0, 0),
+            None => ("node", 0, 0, 0, 0, 0),
         };
         Json::Obj(vec![
             ("ok".into(), Json::Bool(true)),
@@ -378,6 +379,10 @@ impl Shared {
             ("router_forwarded".into(), Json::UInt(forwarded)),
             ("router_retries".into(), Json::UInt(retries)),
             ("router_fallback_local".into(), Json::UInt(fallback)),
+            (
+                "router_unhealthy_marked".into(),
+                Json::UInt(unhealthy_marked),
+            ),
         ])
         .encode()
     }

@@ -328,6 +328,101 @@ fn node_kill_degrades_to_local_fallback_with_correct_bytes() {
     cluster.stop();
 }
 
+/// A node that answers `overloaded` is shedding load, not dead: the
+/// router must keep it healthy, retry with backoff, and ultimately
+/// forward the job — never silently divert to local-fallback compute.
+/// (Regression: the pre-fix router treated any structured rejection as
+/// grounds to mark the owner unhealthy, so one shed response blacked
+/// out a live shard until the next probe.)
+#[test]
+fn overloaded_node_stays_healthy_and_job_is_retried_then_forwarded() {
+    use pipm_serve::proto::{kind, ProtoError};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    // A stub worker node: answers probes, sheds the first submit with a
+    // structured `overloaded` error, then serves the canonical bytes.
+    let canned = direct_response(Workload::Bfs, SchemeKind::Pipm, REFS, SEED);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub node");
+    let stub_addr = listener.local_addr().expect("stub addr").to_string();
+    listener.set_nonblocking(true).expect("nonblocking stub");
+    let submits = Arc::new(AtomicU32::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stub = {
+        let (submits, stop, canned) = (Arc::clone(&submits), Arc::clone(&stop), canned.clone());
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let (stream, _) = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                };
+                stream.set_nonblocking(false).expect("blocking conn");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_err() {
+                    continue;
+                }
+                let reply = if line.contains(r#""cmd":"submit""#) {
+                    if submits.fetch_add(1, Ordering::SeqCst) == 0 {
+                        ProtoError::new(kind::OVERLOADED, "queue full: 1 job does not fit").encode()
+                    } else {
+                        canned.clone()
+                    }
+                } else {
+                    r#"{"ok":true,"state":"serving"}"#.to_string()
+                };
+                let mut w = stream;
+                let _ = w.write_all(reply.as_bytes());
+                let _ = w.write_all(b"\n");
+            }
+        })
+    };
+
+    let router = Daemon::start(ServerConfig {
+        route_nodes: vec![stub_addr],
+        probe_interval: Duration::from_millis(100),
+        forward_retries: 2,
+        ..node_cfg()
+    });
+    let mut client = router.client();
+    let response = client
+        .request(&submit_line("bfs", "pipm", REFS, SEED))
+        .expect("routed submit");
+    assert_eq!(
+        response, canned,
+        "forwarded response must be byte-identical to the canonical encoding"
+    );
+
+    // (b) Retried and ultimately forwarded — never local-computed.
+    assert_eq!(
+        submits.load(Ordering::SeqCst),
+        2,
+        "the stub must see the shed attempt plus the retry"
+    );
+    assert!(metric(&mut client, "router_forwarded") >= 1);
+    assert!(metric(&mut client, "router_retries") >= 1);
+    assert_eq!(
+        metric(&mut client, "router_fallback_local"),
+        0,
+        "an overloaded (live) node must not trigger local fallback"
+    );
+    // (a) Still marked healthy, and never demoted along the way.
+    assert_eq!(metric(&mut client, "healthy_nodes"), 1);
+    assert_eq!(
+        metric(&mut client, "router_unhealthy_marked"),
+        0,
+        "a structured rejection must never flip the health bit"
+    );
+
+    router.stop();
+    stop.store(true, Ordering::SeqCst);
+    stub.join().expect("stub thread");
+}
+
 /// The open-loop generator's arrival schedule is a pure function of
 /// `(seed, rate, n)` — rerunning a benchmark replays identical offered
 /// load (the unit tests pin the distribution; this pins the contract
