@@ -8,11 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pipm_cache::SetAssoc;
 use pipm_coherence::{DevState, DeviceDirectory};
 use pipm_core::{run_one, GlobalRemap, LocalRemap};
-use pipm_fabric::{Dir, Fabric};
+use pipm_fabric::{Dir, Topology};
 use pipm_mem::Dram;
 use pipm_types::{
-    Addr, CxlConfig, DirectoryConfig, DramConfig, HostId, LineAddr, PageNum, PipmConfig,
-    SchemeKind, SystemConfig,
+    Addr, DirectoryConfig, DramConfig, HostId, LineAddr, PageNum, PipmConfig, SchemeKind,
+    SystemConfig, TopologySpec,
 };
 use pipm_workloads::{Workload, WorkloadParams};
 use std::time::Duration;
@@ -45,12 +45,14 @@ fn bench_dram(c: &mut Criterion) {
 
 fn bench_fabric(c: &mut Criterion) {
     c.bench_function("fabric/send", |b| {
-        let mut fabric = Fabric::new(4, &CxlConfig::default());
+        let mut cfg = SystemConfig::default();
+        cfg.apply_topology(TopologySpec::single_device(4));
+        let mut fabric = Topology::new(&cfg);
         let mut t = 0;
         let mut i = 0u64;
         b.iter(|| {
             let h = HostId::new((i % 4) as usize);
-            t = fabric.send(h, Dir::ToDevice, t, 16, false).at;
+            t = fabric.send(h, 0, Dir::ToDevice, t, 16, false).at;
             i += 1;
         });
     });

@@ -1,0 +1,93 @@
+//! Extension: rack-scale device scalability. Extends `host_scaling`
+//! along the second axis of the fabric topology: the number of
+//! multi-headed CXL devices the shared region is interleaved across
+//! (1/2/4 devices at 4 and 8 hosts). More devices means more aggregate
+//! fabric and device-DRAM bandwidth, so link-bound schemes gain most;
+//! the question the curve answers is how much of PIPM's advantage over
+//! kernel migration survives when raw bandwidth is no longer scarce.
+//!
+//! Capture the table with `PIPM_FIG_CSV_DIR=docs/bench/figures` and
+//! chart it with the `report` bin (see EXPERIMENTS.md).
+use pipm_bench::{geomean, print_table, Harness, RunSpec};
+use pipm_types::{SchemeKind, TopologySpec};
+
+fn main() {
+    let h = Harness::from_env();
+    let host_counts = [4usize, 8];
+    let device_counts = [1usize, 2, 4];
+    let schemes = [SchemeKind::Memtis, SchemeKind::Pipm];
+    let specs: Vec<RunSpec> = h
+        .workloads()
+        .into_iter()
+        .flat_map(|w| {
+            host_counts.into_iter().flat_map(move |hosts| {
+                device_counts.into_iter().flat_map(move |devs| {
+                    [SchemeKind::Native, SchemeKind::Memtis, SchemeKind::Pipm]
+                        .into_iter()
+                        .map(move |s| {
+                            RunSpec::new(w, s, format!("hosts={hosts},devs={devs}"), move |cfg| {
+                                cfg.apply_topology(TopologySpec::multi_headed(hosts, devs));
+                            })
+                        })
+                })
+            })
+        })
+        .collect();
+    h.prefetch(specs);
+    let cells = host_counts.len() * device_counts.len() * schemes.len();
+    let mut rows = Vec::new();
+    let mut per_cell: Vec<Vec<f64>> = vec![Vec::new(); cells];
+    for w in h.workloads() {
+        let mut row = vec![w.label().to_string()];
+        for (hi, hosts) in host_counts.iter().enumerate() {
+            for (di, devs) in device_counts.iter().enumerate() {
+                let hv = format!("hosts={hosts},devs={devs}");
+                let (hosts, devs) = (*hosts, *devs);
+                let native = h.measure(w, SchemeKind::Native, &hv, move |cfg| {
+                    cfg.apply_topology(TopologySpec::multi_headed(hosts, devs));
+                });
+                for (si, s) in schemes.iter().enumerate() {
+                    let m = h.measure(w, *s, &hv, move |cfg| {
+                        cfg.apply_topology(TopologySpec::multi_headed(hosts, devs));
+                    });
+                    let speedup = native.exec_cycles as f64 / m.exec_cycles.max(1) as f64;
+                    per_cell[(hi * device_counts.len() + di) * schemes.len() + si].push(speedup);
+                    row.push(format!("{speedup:.3}"));
+                }
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Rack scaling: speedup over Native at the same host and device count",
+        &[
+            "workload",
+            "4h1d_Memtis",
+            "4h1d_PIPM",
+            "4h2d_Memtis",
+            "4h2d_PIPM",
+            "4h4d_Memtis",
+            "4h4d_PIPM",
+            "8h1d_Memtis",
+            "8h1d_PIPM",
+            "8h2d_Memtis",
+            "8h2d_PIPM",
+            "8h4d_Memtis",
+            "8h4d_PIPM",
+        ],
+        &rows,
+    );
+    print!("# geomean");
+    for (hi, hosts) in host_counts.iter().enumerate() {
+        for (di, devs) in device_counts.iter().enumerate() {
+            for (si, s) in schemes.iter().enumerate() {
+                print!(
+                    "\t{hosts}h{devs}d_{}={:.3}",
+                    s.label(),
+                    geomean(&per_cell[(hi * device_counts.len() + di) * schemes.len() + si])
+                );
+            }
+        }
+    }
+    println!();
+}

@@ -14,6 +14,9 @@
 //! * `--figs-dir DIR`  directory of captured figure CSVs to chart
 //!   (default `docs/bench/figures`; missing is fine). Capture tables by
 //!   running any figure harness with `PIPM_FIG_CSV_DIR=<dir>`.
+//! * `--sweep-log PATH` captured `pipm-client bench --sweep` output to
+//!   chart as the serving-layer saturation curve (default
+//!   `docs/bench/serve_sweep.log`; missing is fine).
 //!
 //! Output is a pure function of the inputs — rerunning over the same
 //! files rewrites byte-identical artifacts, so the generated charts
@@ -28,6 +31,7 @@ fn main() {
     let mut input = String::from("BENCH_simperf.json");
     let mut out_dir = String::from("docs/bench");
     let mut figs_dir = String::from("docs/bench/figures");
+    let mut sweep_log = String::from("docs/bench/serve_sweep.log");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -40,6 +44,7 @@ fn main() {
             "--input" => input = need(i).clone(),
             "--out" => out_dir = need(i).clone(),
             "--figs-dir" => figs_dir = need(i).clone(),
+            "--sweep-log" => sweep_log = need(i).clone(),
             other => panic!("unknown argument `{other}`"),
         }
         i += 2;
@@ -85,6 +90,20 @@ fn main() {
                 std::fs::write(&path, &f.contents).expect("write figure chart");
                 println!("[report] wrote {}", path.display());
             }
+        }
+    }
+
+    // Chart the serving-layer saturation sweep if a log was captured.
+    if let Ok(log) = std::fs::read_to_string(&sweep_log) {
+        match report::sweep_report(&log) {
+            Ok(files) => {
+                for f in &files {
+                    let path = Path::new(&out_dir).join(&f.name);
+                    std::fs::write(&path, &f.contents).expect("write sweep artifact");
+                    println!("[report] wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("[report] {sweep_log}: {e}"),
         }
     }
 

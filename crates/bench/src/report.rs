@@ -409,6 +409,148 @@ pub fn figure_chart(stem: &str, csv_text: &str) -> Option<ReportFile> {
     })
 }
 
+// ── Serving-layer saturation sweeps ─────────────────────────────────
+//
+// `pipm-client bench --sweep` prints one `sweep mode=open-loop …` line
+// per offered-load point. Committing that log (plus these pure
+// functions) makes the saturation chart a reviewable artifact like the
+// simperf trend.
+
+/// One parsed `pipm-client bench --sweep` output line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Offered load in requests per second.
+    pub offered_rps: f64,
+    /// Achieved throughput in requests per second.
+    pub achieved_rps: f64,
+    /// Requests issued at this point.
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Application-level errors.
+    pub errors: u64,
+    /// Transport-level errors.
+    pub io_errors: u64,
+    /// Median response latency in milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile response latency in milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile response latency in milliseconds.
+    pub p99_ms: f64,
+    /// Maximum response latency in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Decodes `sweep mode=open-loop …` lines from a captured client log
+/// (other lines — server boot chatter, per-request traces — are
+/// skipped).
+pub fn parse_sweep(text: &str) -> Vec<SweepRow> {
+    fn field(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("{key}=");
+        let start = line.find(&pat)? + pat.len();
+        line[start..].split_whitespace().next()?.parse::<f64>().ok()
+    }
+    text.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with("sweep ") && l.contains("offered_rps="))
+        .filter_map(|l| {
+            Some(SweepRow {
+                offered_rps: field(l, "offered_rps")?,
+                achieved_rps: field(l, "achieved_rps")?,
+                requests: field(l, "requests")? as u64,
+                ok: field(l, "ok")? as u64,
+                errors: field(l, "errors")? as u64,
+                io_errors: field(l, "io_errors")? as u64,
+                p50_ms: field(l, "p50_ms")?,
+                p90_ms: field(l, "p90_ms")?,
+                p99_ms: field(l, "p99_ms")?,
+                max_ms: field(l, "max_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// Builds the serving-layer saturation artifacts from a captured sweep
+/// log: `serve_sweep.csv` (all fields), `serve_sweep.svg` (offered vs
+/// achieved throughput), and `serve_sweep_latency.svg` (tail latency vs
+/// offered load).
+pub fn sweep_report(log_text: &str) -> Result<Vec<ReportFile>, String> {
+    let rows = parse_sweep(log_text);
+    if rows.is_empty() {
+        return Err("no `sweep mode=…` lines in input".to_string());
+    }
+    let mut files = Vec::new();
+
+    let mut csv = String::from(
+        "offered_rps,achieved_rps,requests,ok,errors,io_errors,p50_ms,p90_ms,p99_ms,max_ms\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{:.2},{:.2},{},{},{},{},{:.3},{:.3},{:.3},{:.3}\n",
+            r.offered_rps,
+            r.achieved_rps,
+            r.requests,
+            r.ok,
+            r.errors,
+            r.io_errors,
+            r.p50_ms,
+            r.p90_ms,
+            r.p99_ms,
+            r.max_ms
+        ));
+    }
+    files.push(ReportFile {
+        name: "serve_sweep.csv".to_string(),
+        contents: csv,
+    });
+
+    let x_labels: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{:.0}", r.offered_rps))
+        .collect();
+    files.push(ReportFile {
+        name: "serve_sweep.svg".to_string(),
+        contents: svg::line_chart(
+            "pipm-serve saturation: achieved vs offered load (open loop)",
+            "requests/s",
+            &x_labels,
+            &[
+                svg::Series {
+                    name: "offered".to_string(),
+                    values: rows.iter().map(|r| r.offered_rps).collect(),
+                },
+                svg::Series {
+                    name: "achieved".to_string(),
+                    values: rows.iter().map(|r| r.achieved_rps).collect(),
+                },
+            ],
+        ),
+    });
+    files.push(ReportFile {
+        name: "serve_sweep_latency.svg".to_string(),
+        contents: svg::line_chart(
+            "pipm-serve saturation: response latency vs offered load",
+            "ms",
+            &x_labels,
+            &[
+                svg::Series {
+                    name: "p50".to_string(),
+                    values: rows.iter().map(|r| r.p50_ms).collect(),
+                },
+                svg::Series {
+                    name: "p90".to_string(),
+                    values: rows.iter().map(|r| r.p90_ms).collect(),
+                },
+                svg::Series {
+                    name: "p99".to_string(),
+                    values: rows.iter().map(|r| r.p99_ms).collect(),
+                },
+            ],
+        ),
+    });
+    Ok(files)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,5 +609,45 @@ mod tests {
         assert!(f.contents.contains("Pipm"));
         assert!(!f.contents.contains(">workload<"));
         assert!(figure_chart("fig", "a,b\n").is_none());
+    }
+
+    const SWEEP_FIXTURE: &str = "\
+boot: listening on 127.0.0.1:4000\n\
+sweep mode=open-loop offered_rps=100.00 achieved_rps=99.80 requests=100 ok=100 errors=0 io_errors=0 p50_ms=1.200 p90_ms=2.100 p99_ms=3.500 max_ms=4.000\n\
+sweep mode=open-loop offered_rps=200.00 achieved_rps=180.50 requests=200 ok=198 errors=2 io_errors=0 p50_ms=2.500 p90_ms=8.000 p99_ms=20.000 max_ms=31.000\n\
+done\n";
+
+    #[test]
+    fn parses_sweep_lines_and_skips_chatter() {
+        let rows = parse_sweep(SWEEP_FIXTURE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].offered_rps, 100.0);
+        assert_eq!(rows[1].achieved_rps, 180.5);
+        assert_eq!(rows[1].errors, 2);
+        assert_eq!(rows[1].p99_ms, 20.0);
+    }
+
+    #[test]
+    fn sweep_report_is_deterministic_and_complete() {
+        let a = sweep_report(SWEEP_FIXTURE).unwrap();
+        let b = sweep_report(SWEEP_FIXTURE).unwrap();
+        assert_eq!(a.len(), 3);
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(
+                fa.contents, fb.contents,
+                "{} must be deterministic",
+                fa.name
+            );
+        }
+        let csv = a.iter().find(|f| f.name == "serve_sweep.csv").unwrap();
+        assert!(csv.contents.contains("100.00,99.80"));
+        let svg = a.iter().find(|f| f.name == "serve_sweep.svg").unwrap();
+        assert!(svg.contents.contains("achieved"));
+        let lat = a
+            .iter()
+            .find(|f| f.name == "serve_sweep_latency.svg")
+            .unwrap();
+        assert!(lat.contents.contains("p99"));
+        assert!(sweep_report("no sweep lines here\n").is_err());
     }
 }

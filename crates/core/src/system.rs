@@ -20,7 +20,7 @@ use pipm_baselines::{
 use pipm_cache::SetAssoc;
 use pipm_coherence::{DevState, DeviceDirectory, Recall};
 use pipm_cpu::{AccessStream, CoreModel, TraceRecord};
-use pipm_fabric::{Dir, Fabric};
+use pipm_fabric::{Dir, Topology};
 use pipm_mem::Dram;
 use pipm_types::{
     AccessClass, Addr, Cycle, FxHashMap, HostId, LineAddr, PageNum, PageTable, SchemeKind,
@@ -122,8 +122,9 @@ pub struct System {
     kind: SchemeKind,
     cores: Vec<CoreModel>,
     hosts: Vec<Host>,
-    fabric: Fabric,
-    cxl_dram: Dram,
+    fabric: Topology,
+    /// One DRAM model per CXL device in the topology (index = device id).
+    cxl_dram: Vec<Dram>,
     devdir: DeviceDirectory,
     scheme: SchemeState,
     stats: SystemStats,
@@ -293,8 +294,10 @@ impl System {
                 .map(|_| CoreModel::new(&cfg.core))
                 .collect(),
             hosts,
-            fabric: Fabric::new(cfg.hosts, &cfg.cxl),
-            cxl_dram: Dram::new(&cfg.cxl_dram),
+            fabric: Topology::new(&cfg),
+            cxl_dram: (0..cfg.topology.device_count())
+                .map(|_| Dram::new(&cfg.cxl_dram))
+                .collect(),
             devdir: DeviceDirectory::new(&cfg.directory),
             scheme: scheme_state,
             stats: SystemStats::new(total_cores, cfg.hosts),
@@ -675,7 +678,18 @@ impl System {
     /// cycles. Used by examples and tuning tools.
     pub fn contention_report(&self) -> String {
         let f = self.fabric.total_stats();
-        let cx = self.cxl_dram.stats();
+        let cx = {
+            let mut agg = pipm_mem::DramStats::default();
+            for d in &self.cxl_dram {
+                let s = d.stats();
+                agg.accesses += s.accesses;
+                agg.row_hits += s.row_hits;
+                agg.queue_cycles += s.queue_cycles;
+                agg.bus_wait_cycles += s.bus_wait_cycles;
+                agg.bytes += s.bytes;
+            }
+            agg
+        };
         let locals: Vec<String> = self
             .hosts
             .iter()
@@ -1061,6 +1075,12 @@ impl System {
             self.stats.migration.harmful_promotions = k.harm.harmful();
             self.stats.migration.evaluated_promotions = k.harm.evaluated();
         }
+        let topo = self.fabric.topo_stats();
+        self.stats.fabric = pipm_types::FabricStats {
+            switch_hops: topo.switch_hops,
+            device_messages: topo.device_messages,
+            device_bytes: topo.device_bytes,
+        };
         if INLINE_CHECKS {
             self.invariant_epoch();
         }
@@ -1214,17 +1234,28 @@ impl System {
         now: Cycle,
     ) -> (Cycle, AccessClass, Cycle) {
         let host = HostId::new(hi);
-        let up = self
-            .fabric
-            .send(host, Dir::ToDevice, now, self.fabric.header_bytes(), false);
+        let dev = self.fabric.device_for_line(line);
+        let up = self.fabric.send(
+            host,
+            dev,
+            Dir::ToDevice,
+            now,
+            self.fabric.header_bytes(),
+            false,
+        );
         let mut t = up.at + self.cfg.directory.access_latency();
         let mut queued = up.queued_behind_migration;
         if let Some(DevState::Shared(set)) = self.devdir.lookup(line) {
             let mut max_ack = t;
             for sharer in set.iter().filter(|&s| s != host) {
-                let inv =
-                    self.fabric
-                        .send(sharer, Dir::ToHost, t, self.fabric.header_bytes(), false);
+                let inv = self.fabric.send(
+                    sharer,
+                    dev,
+                    Dir::ToHost,
+                    t,
+                    self.fabric.header_bytes(),
+                    false,
+                );
                 queued += inv.queued_behind_migration;
                 // Invalidate the sharer's cached copies.
                 self.invalidate_host_line(sharer.index(), line);
@@ -1234,6 +1265,7 @@ impl System {
                 // Ack returns to the device.
                 let ack = self.fabric.send(
                     sharer,
+                    dev,
                     Dir::ToDevice,
                     inv.at,
                     self.fabric.header_bytes(),
@@ -1257,7 +1289,7 @@ impl System {
         }
         let down = self
             .fabric
-            .send(host, Dir::ToHost, t, self.fabric.header_bytes(), false);
+            .send(host, dev, Dir::ToHost, t, self.fabric.header_bytes(), false);
         queued += down.queued_behind_migration;
         (down.at, AccessClass::CxlDram, queued)
     }
@@ -1283,10 +1315,16 @@ impl System {
     ) -> (Cycle, AccessClass, Cycle) {
         let host = HostId::new(hi);
         let addr = line.base_addr();
+        let dev = self.fabric.device_for_line(line);
         let issue = t;
-        let up = self
-            .fabric
-            .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
+        let up = self.fabric.send(
+            host,
+            dev,
+            Dir::ToDevice,
+            t,
+            self.fabric.header_bytes(),
+            false,
+        );
         let mut queued = up.queued_behind_migration;
         let mut t = up.at + self.cfg.directory.access_latency();
 
@@ -1305,9 +1343,11 @@ impl System {
             let lr = global.lookup(page);
             t += lr.latency;
             if !lr.cache_hit {
-                walk_ready =
-                    self.cxl_dram
-                        .access(Addr::new(TABLE_WALK_BASE + page.raw() * 2), t, false);
+                walk_ready = self.cxl_dram[dev].access(
+                    Addr::new(TABLE_WALK_BASE + page.raw() * 2),
+                    t,
+                    false,
+                );
             }
             let threshold = self.cfg.pipm.migration_threshold;
             if global.current(page).is_none() && !self.hints.is_pinned(page) {
@@ -1320,13 +1360,18 @@ impl System {
             }
         }
 
-        let dev = self.devdir.lookup(line);
-        let (done, class) = match dev {
+        let dstate = self.devdir.lookup(line);
+        let (done, class) = match dstate {
             Some(DevState::Modified(owner)) if owner != host => {
                 // Four-hop forward through the owning host's cache.
-                let fwd =
-                    self.fabric
-                        .send(owner, Dir::ToHost, t, self.fabric.header_bytes(), false);
+                let fwd = self.fabric.send(
+                    owner,
+                    dev,
+                    Dir::ToHost,
+                    t,
+                    self.fabric.header_bytes(),
+                    false,
+                );
                 let mut tt = fwd.at + self.cfg.llc_per_core.hit_latency;
                 let dirty = self.hosts[owner.index()]
                     .llc
@@ -1341,11 +1386,13 @@ impl System {
                 } else {
                     self.downgrade_host_line(owner.index(), line);
                 }
-                let back = self.fabric.send(owner, Dir::ToDevice, tt, DATA_MSG, false);
+                let back = self
+                    .fabric
+                    .send(owner, dev, Dir::ToDevice, tt, DATA_MSG, false);
                 tt = back.at;
                 if dirty {
                     // Asynchronous writeback of the forwarded data.
-                    self.cxl_dram.write_buffered(addr, tt);
+                    self.cxl_dram[dev].write_buffered(addr, tt);
                 }
                 self.devdir.remove(line);
                 let new_state = if is_write {
@@ -1358,7 +1405,9 @@ impl System {
                 if let Some(r) = self.devdir.update(line, new_state) {
                     self.handle_recall(r, tt);
                 }
-                let down = self.fabric.send(host, Dir::ToHost, tt, DATA_MSG, false);
+                let down = self
+                    .fabric
+                    .send(host, dev, Dir::ToHost, tt, DATA_MSG, false);
                 queued += down.queued_behind_migration + fwd.queued_behind_migration;
                 (down.at, AccessClass::CxlForward)
             }
@@ -1381,6 +1430,7 @@ impl System {
                         }
                         let inv = self.fabric.send(
                             sharer,
+                            dev,
                             Dir::ToHost,
                             tt,
                             self.fabric.header_bytes(),
@@ -1392,6 +1442,7 @@ impl System {
                         }
                         let ack = self.fabric.send(
                             sharer,
+                            dev,
                             Dir::ToDevice,
                             inv.at,
                             self.fabric.header_bytes(),
@@ -1401,7 +1452,7 @@ impl System {
                     }
                     tt = max_ack;
                 }
-                tt = self.cxl_dram.access(addr, tt, false);
+                tt = self.cxl_dram[dev].access(addr, tt, false);
                 if let Some(o) = self.oracle.as_mut() {
                     o.fill_from_cxl(hi, line);
                 }
@@ -1416,7 +1467,9 @@ impl System {
                 if let Some(r) = self.devdir.update(line, new_state) {
                     self.handle_recall(r, tt);
                 }
-                let down = self.fabric.send(host, Dir::ToHost, tt, DATA_MSG, false);
+                let down = self
+                    .fabric
+                    .send(host, dev, Dir::ToHost, tt, DATA_MSG, false);
                 queued += down.queued_behind_migration;
                 (down.at, AccessClass::CxlDram)
             }
@@ -1424,14 +1477,16 @@ impl System {
                 // Not cached anywhere else (Modified(host) cannot occur on
                 // a miss — the local copy was evicted and removed). Plain
                 // CXL DRAM fill; sole accessor becomes the exclusive owner.
-                let tt = self.cxl_dram.access(addr, t, is_write);
+                let tt = self.cxl_dram[dev].access(addr, t, is_write);
                 if let Some(o) = self.oracle.as_mut() {
                     o.fill_from_cxl(hi, line);
                 }
                 if let Some(r) = self.devdir.update(line, DevState::Modified(host)) {
                     self.handle_recall(r, tt);
                 }
-                let down = self.fabric.send(host, Dir::ToHost, tt, DATA_MSG, false);
+                let down = self
+                    .fabric
+                    .send(host, dev, Dir::ToHost, tt, DATA_MSG, false);
                 queued += down.queued_behind_migration;
                 (down.at, AccessClass::CxlDram)
             }
@@ -1486,20 +1541,33 @@ impl System {
                 // Non-cacheable four-hop access to the owning host's local
                 // memory (GIM semantics, Figure 3 ①–⑤). No cache fill.
                 k.harm.on_access(page, host);
-                let up =
-                    self.fabric
-                        .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
-                let fwd =
-                    self.fabric
-                        .send(owner, Dir::ToHost, up.at, self.fabric.header_bytes(), false);
+                let dev = self.fabric.device_for_page(page);
+                let up = self.fabric.send(
+                    host,
+                    dev,
+                    Dir::ToDevice,
+                    t,
+                    self.fabric.header_bytes(),
+                    false,
+                );
+                let fwd = self.fabric.send(
+                    owner,
+                    dev,
+                    Dir::ToHost,
+                    up.at,
+                    self.fabric.header_bytes(),
+                    false,
+                );
                 let tt = fwd.at + self.cfg.llc_per_core.hit_latency; // owner local dir
                 let tt = self.hosts[owner.index()]
                     .dram
                     .access_shadow(line.base_addr(), tt);
-                let back = self.fabric.send(owner, Dir::ToDevice, tt, DATA_MSG, false);
+                let back = self
+                    .fabric
+                    .send(owner, dev, Dir::ToDevice, tt, DATA_MSG, false);
                 let down = self
                     .fabric
-                    .send(host, Dir::ToHost, back.at, DATA_MSG, false);
+                    .send(host, dev, Dir::ToHost, back.at, DATA_MSG, false);
                 let queued = up.queued_behind_migration
                     + fwd.queued_behind_migration
                     + back.queued_behind_migration
@@ -1618,17 +1686,28 @@ impl System {
                 let result = if owner_entry_bit {
                     // Cases ②/⑤/⑥: coherent 4-hop fetch from the owner's
                     // local memory (or cache) + incremental migration back.
-                    let up =
-                        self.fabric
-                            .send(host, Dir::ToDevice, t, self.fabric.header_bytes(), false);
+                    let dev = self.fabric.device_for_page(page);
+                    let up = self.fabric.send(
+                        host,
+                        dev,
+                        Dir::ToDevice,
+                        t,
+                        self.fabric.header_bytes(),
+                        false,
+                    );
                     let mut tt = up.at + self.cfg.directory.access_latency();
                     // CXL memory read verifies the I′ in-memory bit; the
                     // owning host comes from the global remapping cache
                     // (hot for contested pages).
-                    tt = self.cxl_dram.access(line.base_addr(), tt, false);
-                    let fwd =
-                        self.fabric
-                            .send(owner, Dir::ToHost, tt, self.fabric.header_bytes(), false);
+                    tt = self.cxl_dram[dev].access(line.base_addr(), tt, false);
+                    let fwd = self.fabric.send(
+                        owner,
+                        dev,
+                        Dir::ToHost,
+                        tt,
+                        self.fabric.header_bytes(),
+                        false,
+                    );
                     tt = fwd.at + self.cfg.llc_per_core.hit_latency;
                     let cached = self.hosts[owner.index()].llc.peek(line).is_some();
                     if let Some(o) = self.oracle.as_mut() {
@@ -1650,8 +1729,10 @@ impl System {
                     self.hosts[owner.index()].remap.clear_line(page, idx);
                     self.stats.migration.lines_migrated_back += 1;
                     self.stats.migration.transfer_bytes += 64;
-                    let back = self.fabric.send(owner, Dir::ToDevice, tt, DATA_MSG, false);
-                    self.cxl_dram.write_buffered(line.base_addr(), back.at);
+                    let back = self
+                        .fabric
+                        .send(owner, dev, Dir::ToDevice, tt, DATA_MSG, false);
+                    self.cxl_dram[dev].write_buffered(line.base_addr(), back.at);
                     let new_state = if is_write {
                         DevState::Modified(host)
                     } else if cached {
@@ -1667,7 +1748,7 @@ impl System {
                     }
                     let down = self
                         .fabric
-                        .send(host, Dir::ToHost, back.at, DATA_MSG, false);
+                        .send(host, dev, Dir::ToHost, back.at, DATA_MSG, false);
                     let queued = up.queued_behind_migration
                         + fwd.queued_behind_migration
                         + back.queued_behind_migration
@@ -1743,11 +1824,17 @@ impl System {
                 continue;
             }
             // Fetch from CXL memory and install into local DRAM.
-            let up = self
-                .fabric
-                .send(host, Dir::ToDevice, now, self.fabric.header_bytes(), false);
-            let t = self.cxl_dram.access(line.base_addr(), up.at, false);
-            let down = self.fabric.send(host, Dir::ToHost, t, DATA_MSG, true);
+            let dev = self.fabric.device_for_page(page);
+            let up = self.fabric.send(
+                host,
+                dev,
+                Dir::ToDevice,
+                now,
+                self.fabric.header_bytes(),
+                false,
+            );
+            let t = self.cxl_dram[dev].access(line.base_addr(), up.at, false);
+            let down = self.fabric.send(host, dev, Dir::ToHost, t, DATA_MSG, true);
             self.hosts[hi]
                 .dram
                 .write_buffered(line.base_addr(), down.at);
@@ -1785,8 +1872,9 @@ impl System {
             let t = self.hosts[oi]
                 .dram
                 .bulk_transfer(page.base_addr(), now, bytes);
-            let arr = self.fabric.send(owner, Dir::ToDevice, t, bytes, true);
-            self.cxl_dram.bulk_transfer(page.base_addr(), arr.at, bytes);
+            let dev = self.fabric.device_for_page(page);
+            let arr = self.fabric.send(owner, dev, Dir::ToDevice, t, bytes, true);
+            self.cxl_dram[dev].bulk_transfer(page.base_addr(), arr.at, bytes);
             self.stats.migration.transfer_bytes += bytes;
             self.stats.migration.lines_migrated_back += n;
         }
@@ -1898,7 +1986,8 @@ impl System {
                             // Flip the CXL-side in-memory bit: a tiny,
                             // coalesced control flit (the bit lives in the
                             // CXL line's ECC metadata).
-                            self.fabric.send(host, Dir::ToDevice, now, 4, false);
+                            let dev = self.fabric.device_for_page(page);
+                            self.fabric.send(host, dev, Dir::ToDevice, now, 4, false);
                             self.stats.migration.lines_migrated_in += 1;
                             self.sector_migrate(hi, page, idx, now);
                         } else {
@@ -1932,8 +2021,11 @@ impl System {
                     o.evict_to_cxl(hi, vline);
                 }
                 if vmeta.dirty {
-                    let arr = self.fabric.send(host, Dir::ToDevice, now, DATA_MSG, false);
-                    self.cxl_dram.write_buffered(vline.base_addr(), arr.at);
+                    let dev = self.fabric.device_for_line(vline);
+                    let arr = self
+                        .fabric
+                        .send(host, dev, Dir::ToDevice, now, DATA_MSG, false);
+                    self.cxl_dram[dev].write_buffered(vline.base_addr(), arr.at);
                 }
                 self.devdir.remove(vline);
             }
@@ -1978,9 +2070,11 @@ impl System {
                 }
                 self.invalidate_host_line(owner.index(), recall.line);
                 if dirty {
-                    let arr = self.fabric.send(owner, Dir::ToDevice, now, DATA_MSG, false);
-                    self.cxl_dram
-                        .write_buffered(recall.line.base_addr(), arr.at);
+                    let dev = self.fabric.device_for_line(recall.line);
+                    let arr = self
+                        .fabric
+                        .send(owner, dev, Dir::ToDevice, now, DATA_MSG, false);
+                    self.cxl_dram[dev].write_buffered(recall.line.base_addr(), arr.at);
                 }
             }
             DevState::Shared(set) => {
@@ -1989,8 +2083,9 @@ impl System {
                         o.drop_cached(h.index(), recall.line);
                     }
                     self.invalidate_host_line(h.index(), recall.line);
+                    let dev = self.fabric.device_for_line(recall.line);
                     self.fabric
-                        .send(h, Dir::ToHost, now, self.fabric.header_bytes(), false);
+                        .send(h, dev, Dir::ToHost, now, self.fabric.header_bytes(), false);
                 }
             }
         }
@@ -2092,10 +2187,10 @@ impl System {
                     o.cxl_to_local(di, page.line(i));
                 }
             }
-            let t = self
-                .cxl_dram
-                .bulk_transfer(page.base_addr(), now, PAGE_SIZE);
-            self.fabric.send(*dest, Dir::ToHost, t, PAGE_SIZE, true);
+            let dev = self.fabric.device_for_page(*page);
+            let t = self.cxl_dram[dev].bulk_transfer(page.base_addr(), now, PAGE_SIZE);
+            self.fabric
+                .send(*dest, dev, Dir::ToHost, t, PAGE_SIZE, true);
             self.hosts[di]
                 .dram
                 .bulk_transfer(page.base_addr(), t, PAGE_SIZE);
@@ -2162,9 +2257,11 @@ impl System {
         let t = self.hosts[oi]
             .dram
             .bulk_transfer(page.base_addr(), now, PAGE_SIZE);
-        let arr = self.fabric.send(owner, Dir::ToDevice, t, PAGE_SIZE, true);
-        self.cxl_dram
-            .bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
+        let dev = self.fabric.device_for_page(page);
+        let arr = self
+            .fabric
+            .send(owner, dev, Dir::ToDevice, t, PAGE_SIZE, true);
+        self.cxl_dram[dev].bulk_transfer(page.base_addr(), arr.at, PAGE_SIZE);
         self.page_location.remove(page);
         k.harm.on_demote(page);
         self.hosts[oi].resident_pages = self.hosts[oi].resident_pages.saturating_sub(1);

@@ -14,22 +14,33 @@
 //! routed through the CXL memory node's root complex: up one host's link,
 //! down the other's, as in Figure 3 of the paper.
 //!
+//! Rack-scale graphs — multiple multi-headed devices behind switches —
+//! are described by a `pipm_types::TopologySpec` and executed by
+//! [`Topology`], which composes these links into per-device planes,
+//! shared uplinks, and switch ports (see [`topology`]).
+//!
 //! # Example
 //!
 //! ```
-//! use pipm_fabric::{Fabric, Dir};
-//! use pipm_types::{CxlConfig, HostId};
+//! use pipm_fabric::{Topology, Dir};
+//! use pipm_types::{HostId, SystemConfig, TopologySpec};
 //!
-//! let mut fabric = Fabric::new(4, &CxlConfig::default());
+//! let mut cfg = SystemConfig::default();
+//! cfg.apply_topology(TopologySpec::single_device(4));
+//! let mut fabric = Topology::new(&cfg);
 //! let h = HostId::new(0);
-//! // Send a 16-byte request host→device at cycle 0: arrives after the
+//! // Send a 16-byte request host→device 0 at cycle 0: arrives after the
 //! // 50 ns (200-cycle) propagation plus serialization.
-//! let arr = fabric.send(h, Dir::ToDevice, 0, 16, false);
+//! let arr = fabric.send(h, 0, Dir::ToDevice, 0, 16, false);
 //! assert!(arr.at >= 200);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod topology;
+
+pub use topology::{Topology, TopologyStats};
 
 use pipm_types::{CxlConfig, Cycle, HostId, CPU_GHZ};
 
@@ -91,12 +102,29 @@ pub struct Fabric {
 impl Fabric {
     /// Creates a fabric connecting `hosts` hosts to the memory node.
     ///
+    /// Deprecated: the host count lives in the topology spec now, so the
+    /// two cannot drift. Build a
+    /// [`TopologySpec::single_device`](pipm_types::TopologySpec::single_device)
+    /// (or a richer graph), install it with
+    /// [`SystemConfig::apply_topology`](pipm_types::SystemConfig::apply_topology),
+    /// and construct a [`Topology`].
+    ///
     /// # Panics
     ///
     /// Panics if `hosts` is zero or the configured bandwidth is
     /// non-positive.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a Topology from TopologySpec::single_device(hosts) instead"
+    )]
     pub fn new(hosts: usize, cfg: &CxlConfig) -> Self {
-        assert!(hosts > 0, "fabric needs at least one host");
+        Fabric::with_links(hosts, cfg)
+    }
+
+    /// Internal edge constructor used by [`Topology`]: a bundle of `n`
+    /// independent full-duplex links under one link config.
+    pub(crate) fn with_links(n: usize, cfg: &CxlConfig) -> Self {
+        assert!(n > 0, "fabric needs at least one link");
         assert!(cfg.link_gbps > 0.0, "link bandwidth must be positive");
         Fabric {
             links: vec![
@@ -105,7 +133,7 @@ impl Fabric {
                     down: Direction::default(),
                     stats: LinkStats::default(),
                 };
-                hosts
+                n
             ],
             latency: pipm_types::cycles_from_ns(cfg.link_latency_ns),
             cycles_per_byte: CPU_GHZ / cfg.link_gbps,
@@ -243,7 +271,7 @@ mod tests {
     use super::*;
 
     fn fabric() -> Fabric {
-        Fabric::new(4, &CxlConfig::default())
+        Fabric::with_links(4, &CxlConfig::default())
     }
 
     #[test]
@@ -424,8 +452,8 @@ mod tests {
             link_gbps: 10.0,
             ..CxlConfig::default()
         };
-        let mut fs = Fabric::new(1, &slow);
-        let mut ff = Fabric::new(1, &fast);
+        let mut fs = Fabric::with_links(1, &slow);
+        let mut ff = Fabric::with_links(1, &fast);
         let h = HostId::new(0);
         let ts = fs.send(h, Dir::ToDevice, 0, 4096, false).at;
         let tf = ff.send(h, Dir::ToDevice, 0, 4096, false).at;
@@ -445,7 +473,7 @@ mod prop_tests {
         fn prop_fifo_per_direction(
             seq in proptest::collection::vec((0u64..200, 1u64..4096), 1..200)
         ) {
-            let mut f = Fabric::new(2, &CxlConfig::default());
+            let mut f = Fabric::with_links(2, &CxlConfig::default());
             let h = HostId::new(0);
             let mut now = 0;
             let mut last_arrival = 0;
@@ -463,7 +491,7 @@ mod prop_tests {
         fn prop_migration_attribution_bounded(
             seq in proptest::collection::vec((0u64..64, 1u64..512, proptest::bool::ANY), 1..200)
         ) {
-            let mut f = Fabric::new(1, &CxlConfig::default());
+            let mut f = Fabric::with_links(1, &CxlConfig::default());
             let h = HostId::new(0);
             let mut now = 0;
             for (gap, bytes, mig) in seq {

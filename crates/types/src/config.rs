@@ -290,6 +290,9 @@ pub struct SystemConfig {
     pub migration_interval_cycles: Cycle,
     /// Fraction of simulated references excluded from statistics as warm-up.
     pub warmup_fraction: f64,
+    /// Fabric topology: hosts, switches, and CXL devices. The default
+    /// describes the legacy single-device shape and inherits `hosts`.
+    pub topology: crate::TopologySpec,
 }
 
 impl SystemConfig {
@@ -353,7 +356,16 @@ impl SystemConfig {
         if !(0.0..1.0).contains(&self.warmup_fraction) {
             return Err("warmup_fraction must be in [0,1)".into());
         }
+        self.topology.validate(self.hosts)?;
         Ok(())
+    }
+
+    /// Installs `topology` and adopts its host count, keeping the two in
+    /// agreement ([`TopologySpec`](crate::TopologySpec) is the source of
+    /// truth; `validate` rejects drift between the two fields).
+    pub fn apply_topology(&mut self, topology: crate::TopologySpec) {
+        self.hosts = topology.resolved_hosts(self.hosts);
+        self.topology = topology;
     }
 }
 
@@ -389,6 +401,7 @@ impl Default for SystemConfig {
             local_capacity_bytes: 64 << 20,
             migration_interval_cycles: 250_000,
             warmup_fraction: 0.1,
+            topology: crate::TopologySpec::default(),
         }
     }
 }
@@ -432,6 +445,17 @@ mod tests {
             warmup_fraction: 1.5,
             ..SystemConfig::default()
         };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn apply_topology_adopts_host_count() {
+        let mut cfg = SystemConfig::default();
+        cfg.apply_topology(crate::TopologySpec::multi_headed(8, 2));
+        assert_eq!(cfg.hosts, 8);
+        cfg.validate().unwrap();
+        // Drift between the two host counts is rejected.
+        cfg.hosts = 4;
         assert!(cfg.validate().is_err());
     }
 }

@@ -37,6 +37,7 @@ pub mod scheme;
 pub mod stats;
 pub mod table;
 pub mod time;
+pub mod topology;
 
 pub use addr::{Addr, LineAddr, PageNum, LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 pub use config::{
@@ -46,6 +47,7 @@ pub use config::{
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CoreId, HostId, HostSet};
 pub use scheme::SchemeKind;
-pub use stats::{AccessClass, CoreStats, MigrationStats, Percentiles, SystemStats};
+pub use stats::{AccessClass, CoreStats, FabricStats, MigrationStats, Percentiles, SystemStats};
 pub use table::{PageTable, MAX_DENSE_PAGES};
 pub use time::{cycles_from_ns, ns_from_cycles, Cycle, CPU_GHZ};
+pub use topology::{Attach, SwitchSpec, TopologySpec};

@@ -183,6 +183,21 @@ impl MigrationStats {
     }
 }
 
+/// Rack-scale fabric statistics: how traffic distributed over the
+/// topology's switches and devices. Zero-valued (single device, no hops
+/// beyond the direct links) under the legacy shape.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FabricStats {
+    /// Messages that traversed a switch (one count per traversal, either
+    /// direction).
+    pub switch_hops: u64,
+    /// Messages delivered over each device's links (demand + migration),
+    /// indexed by device.
+    pub device_messages: Vec<u64>,
+    /// Bytes carried over each device's links, indexed by device.
+    pub device_bytes: Vec<u64>,
+}
+
 /// Whole-system statistics for a simulation run.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct SystemStats {
@@ -190,6 +205,8 @@ pub struct SystemStats {
     pub cores: Vec<CoreStats>,
     /// Migration statistics.
     pub migration: MigrationStats,
+    /// Fabric topology statistics (switch hops, per-device traffic).
+    pub fabric: FabricStats,
     /// Remapping structure statistics (PIPM): cache hits/misses.
     pub local_remap_hits: u64,
     /// Local remapping cache misses (each costs a local DRAM table walk).

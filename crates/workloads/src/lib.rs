@@ -36,14 +36,18 @@
 #![warn(missing_docs)]
 
 pub mod fuzz;
+pub mod phases;
 mod spec;
 mod stream;
+pub mod tenants;
 pub mod trace;
 mod zipf;
 
 pub use fuzz::{FuzzPattern, FuzzSpec};
+pub use phases::{Phase, PhasedStream, PhasedWorkload};
 pub use spec::{Spec, Workload, WorkloadParams};
 pub use stream::SyntheticStream;
+pub use tenants::{TenantMix, TenantStream};
 pub use zipf::Zipfian;
 
 use pipm_cpu::AccessStream;

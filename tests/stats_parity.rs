@@ -178,6 +178,29 @@ fn parity_across_worker_counts() {
     }
 }
 
+#[test]
+fn golden_fingerprints_with_explicit_single_device_topology() {
+    // A declared single-device topology must be indistinguishable from
+    // the implicit default: the `Topology` engine's one-plane fast path
+    // has to reproduce the committed goldens bit-for-bit.
+    let params = WorkloadParams {
+        refs_per_core: REFS_PER_CORE,
+        seed: SEED,
+    };
+    for (w, s, want) in GOLDEN {
+        let mut cfg = SystemConfig::experiment_scale();
+        let hosts = cfg.hosts;
+        cfg.apply_topology(pipm_types::TopologySpec::single_device(hosts));
+        let r = run_one(w, s, cfg, &params);
+        assert_eq!(
+            fingerprint(&r.stats),
+            want,
+            "{w} under {s}: explicit single-device topology diverged from \
+             the default-fabric golden"
+        );
+    }
+}
+
 /// Regenerates the golden table. Ignored: run manually when simulation
 /// behavior changes intentionally, then paste the output into `GOLDEN`.
 #[test]
